@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 5 — IPC loss of 2D-protected caches on the fat and lean CMP
+ * systems, across the six workloads and the four protection
+ * configurations the paper plots: L1 only, L1 with port stealing,
+ * L2 only, and L1(+stealing)+L2.
+ *
+ * Baseline and protected runs are matched-pair (same seeds), the
+ * SimFlex-style methodology of Section 5.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "cpu/cmp_simulator.hh"
+
+using namespace tdc;
+
+namespace
+{
+
+constexpr uint64_t kCycles = 150000;
+constexpr uint64_t kSeed = 42;
+
+double
+loss(const CmpConfig &m, const WorkloadProfile &w,
+     const ProtectionConfig &prot)
+{
+    CmpSimulator base_sim(m, w, ProtectionConfig::none(), kSeed);
+    CmpSimulator prot_sim(m, w, prot, kSeed);
+    const double base = base_sim.run(kCycles).ipc();
+    const double protd = prot_sim.run(kCycles).ipc();
+    return (base - protd) / base;
+}
+
+void
+machineTable(const CmpConfig &m, const char *title)
+{
+    std::printf("--- Figure 5(%s) ---\n\n", title);
+    Table t({"Workload", "L1 D-cache", "L1 + port stealing", "L2 cache",
+             "L1(steal) + L2"});
+    double sums[4] = {};
+    for (const WorkloadProfile &w : standardWorkloads()) {
+        const double l1 = loss(m, w, ProtectionConfig::l1Only(false));
+        const double l1s = loss(m, w, ProtectionConfig::l1Only(true));
+        const double l2 = loss(m, w, ProtectionConfig::l2Only());
+        const double full = loss(m, w, ProtectionConfig::full(true));
+        sums[0] += l1;
+        sums[1] += l1s;
+        sums[2] += l2;
+        sums[3] += full;
+        t.addRow({w.name, Table::pct(l1), Table::pct(l1s),
+                  Table::pct(l2), Table::pct(full)});
+    }
+    t.addRow({"Average", Table::pct(sums[0] / 6), Table::pct(sums[1] / 6),
+              Table::pct(sums[2] / 6), Table::pct(sums[3] / 6)});
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 5: performance (IPC) loss in 2D-protected "
+                "caches ===\n\n");
+    machineTable(CmpConfig::fat(), "a: fat baseline");
+    machineTable(CmpConfig::lean(), "b: lean baseline");
+    std::printf(
+        "Paper shape: full protection costs low single digits (paper: "
+        "2.9%% fat / 1.8%% lean\naverage); port stealing removes most "
+        "of the fat CMP's L1 port contention; the\nlean CMP's loss has "
+        "a larger L2 component than the fat CMP's.\n");
+    return 0;
+}

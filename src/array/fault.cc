@@ -1,0 +1,197 @@
+#include "array/fault.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+std::string
+FaultEvent::describe() const
+{
+    const char *shape_name = nullptr;
+    switch (shape) {
+      case FaultShape::kSingleBit: shape_name = "single-bit"; break;
+      case FaultShape::kRowBurst: shape_name = "row-burst"; break;
+      case FaultShape::kColumnBurst: shape_name = "column-burst"; break;
+      case FaultShape::kCluster: shape_name = "cluster"; break;
+      case FaultShape::kFullRow: shape_name = "full-row"; break;
+      case FaultShape::kFullColumn: shape_name = "full-column"; break;
+    }
+    return std::string(shape_name) + " " + std::to_string(width()) + "x" +
+           std::to_string(height()) + " (" + std::to_string(cells.size()) +
+           " cells, " +
+           (persistence == FaultPersistence::kTransient ? "soft" : "hard") +
+           ")";
+}
+
+void
+FaultInjector::applyCell(MemoryArray &arr, size_t r, size_t c,
+                         FaultPersistence p, FaultEvent &event)
+{
+    if (p == FaultPersistence::kTransient) {
+        arr.flipBit(r, c);
+    } else {
+        // Stick at the complement of the stored value so the fault is
+        // observable immediately.
+        arr.addStuckAt(r, c, !arr.readBit(r, c));
+    }
+    event.cells.emplace_back(r, c);
+}
+
+FaultEvent
+FaultInjector::injectSingleBit(MemoryArray &arr, FaultPersistence p)
+{
+    FaultEvent event;
+    event.shape = FaultShape::kSingleBit;
+    event.persistence = p;
+    const size_t r = rng.nextBelow(arr.rows());
+    const size_t c = rng.nextBelow(arr.cols());
+    applyCell(arr, r, c, p, event);
+    event.rowLo = event.rowHi = r;
+    event.colLo = event.colHi = c;
+    return event;
+}
+
+FaultEvent
+FaultInjector::injectRowBurst(MemoryArray &arr, size_t row, size_t width,
+                              long col_lo, FaultPersistence p)
+{
+    assert(width >= 1 && width <= arr.cols());
+    FaultEvent event;
+    event.shape = FaultShape::kRowBurst;
+    event.persistence = p;
+    const size_t lo = col_lo >= 0 ? size_t(col_lo)
+                                  : rng.nextBelow(arr.cols() - width + 1);
+    assert(lo + width <= arr.cols());
+    for (size_t c = lo; c < lo + width; ++c)
+        applyCell(arr, row, c, p, event);
+    event.rowLo = event.rowHi = row;
+    event.colLo = lo;
+    event.colHi = lo + width - 1;
+    return event;
+}
+
+FaultEvent
+FaultInjector::injectColumnBurst(MemoryArray &arr, size_t col,
+                                 size_t height, long row_lo,
+                                 FaultPersistence p)
+{
+    assert(height >= 1 && height <= arr.rows());
+    FaultEvent event;
+    event.shape = FaultShape::kColumnBurst;
+    event.persistence = p;
+    const size_t lo = row_lo >= 0 ? size_t(row_lo)
+                                  : rng.nextBelow(arr.rows() - height + 1);
+    assert(lo + height <= arr.rows());
+    for (size_t r = lo; r < lo + height; ++r)
+        applyCell(arr, r, col, p, event);
+    event.rowLo = lo;
+    event.rowHi = lo + height - 1;
+    event.colLo = event.colHi = col;
+    return event;
+}
+
+FaultEvent
+FaultInjector::injectCluster(MemoryArray &arr, size_t width, size_t height,
+                             double density, long row_lo, long col_lo,
+                             FaultPersistence p)
+{
+    assert(width >= 1 && width <= arr.cols());
+    assert(height >= 1 && height <= arr.rows());
+    assert(density > 0.0 && density <= 1.0);
+
+    FaultEvent event;
+    event.shape = FaultShape::kCluster;
+    event.persistence = p;
+    const size_t rlo = row_lo >= 0
+                           ? size_t(row_lo)
+                           : rng.nextBelow(arr.rows() - height + 1);
+    const size_t clo = col_lo >= 0
+                           ? size_t(col_lo)
+                           : rng.nextBelow(arr.cols() - width + 1);
+    assert(rlo + height <= arr.rows());
+    assert(clo + width <= arr.cols());
+
+    // Choose the footprint first (re-rolling until every row of the
+    // footprint participates), then apply, so the advertised bounding
+    // box matches what was really flipped.
+    std::vector<std::pair<size_t, size_t>> chosen;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        chosen.clear();
+        bool all_rows_hit = true;
+        for (size_t r = 0; r < height; ++r) {
+            bool row_hit = false;
+            for (size_t c = 0; c < width; ++c) {
+                if (density >= 1.0 || rng.nextBool(density)) {
+                    chosen.emplace_back(rlo + r, clo + c);
+                    row_hit = true;
+                }
+            }
+            all_rows_hit &= row_hit;
+        }
+        if (all_rows_hit)
+            break;
+    }
+    for (auto [r, c] : chosen)
+        applyCell(arr, r, c, p, event);
+
+    event.rowLo = rlo;
+    event.rowHi = rlo + height - 1;
+    event.colLo = clo;
+    event.colHi = clo + width - 1;
+    return event;
+}
+
+FaultEvent
+FaultInjector::injectFullRow(MemoryArray &arr, size_t row,
+                             FaultPersistence p)
+{
+    FaultEvent event;
+    event.shape = FaultShape::kFullRow;
+    event.persistence = p;
+    for (size_t c = 0; c < arr.cols(); ++c)
+        applyCell(arr, row, c, p, event);
+    event.rowLo = event.rowHi = row;
+    event.colLo = 0;
+    event.colHi = arr.cols() - 1;
+    return event;
+}
+
+FaultEvent
+FaultInjector::injectFullColumn(MemoryArray &arr, size_t col,
+                                FaultPersistence p)
+{
+    FaultEvent event;
+    event.shape = FaultShape::kFullColumn;
+    event.persistence = p;
+    for (size_t r = 0; r < arr.rows(); ++r)
+        applyCell(arr, r, col, p, event);
+    event.rowLo = 0;
+    event.rowHi = arr.rows() - 1;
+    event.colLo = event.colHi = col;
+    return event;
+}
+
+FaultEvent
+FaultInjector::injectRandomHardFaults(MemoryArray &arr, size_t count)
+{
+    FaultEvent event;
+    event.shape = FaultShape::kSingleBit;
+    event.persistence = FaultPersistence::kStuckAt;
+    size_t placed = 0;
+    while (placed < count) {
+        const size_t r = rng.nextBelow(arr.rows());
+        const size_t c = rng.nextBelow(arr.cols());
+        if (arr.isStuck(r, c))
+            continue;
+        applyCell(arr, r, c, FaultPersistence::kStuckAt, event);
+        ++placed;
+    }
+    event.rowLo = 0;
+    event.rowHi = arr.rows() - 1;
+    event.colLo = 0;
+    event.colHi = arr.cols() - 1;
+    return event;
+}
+
+} // namespace tdc

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Fault descriptors and the fault injector: the error-event generator
+ * used by every coverage and reliability experiment.
+ */
+
+#ifndef TDC_ARRAY_FAULT_HH
+#define TDC_ARRAY_FAULT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "array/memory_array.hh"
+#include "common/rng.hh"
+
+namespace tdc
+{
+
+/** The error-event shapes discussed in the paper's Sections 1-3. */
+enum class FaultShape
+{
+    /** One cell upset: the dominant soft-error event today. */
+    kSingleBit,
+    /** Contiguous horizontal burst in one row (wordline-direction). */
+    kRowBurst,
+    /** Contiguous vertical burst in one column (bitline-direction). */
+    kColumnBurst,
+    /**
+     * Rectangular cluster: every cell inside a WxH footprint flips
+     * with a given density (1.0 = solid block). Models single-event
+     * multi-bit upsets from one particle strike.
+     */
+    kCluster,
+    /** Entire physical row fails. */
+    kFullRow,
+    /** Entire physical column fails. */
+    kFullColumn,
+};
+
+/** Soft (transient) vs hard (persistent stuck-at) manifestation. */
+enum class FaultPersistence
+{
+    kTransient,
+    kStuckAt,
+};
+
+/** One injected fault event with its ground-truth footprint. */
+struct FaultEvent
+{
+    FaultShape shape = FaultShape::kSingleBit;
+    FaultPersistence persistence = FaultPersistence::kTransient;
+
+    /** Affected cells (row, col), the ground truth for verification. */
+    std::vector<std::pair<size_t, size_t>> cells;
+
+    /** Bounding box (inclusive) of the footprint. */
+    size_t rowLo = 0, rowHi = 0, colLo = 0, colHi = 0;
+
+    size_t width() const { return colHi - colLo + 1; }
+    size_t height() const { return rowHi - rowLo + 1; }
+
+    std::string describe() const;
+};
+
+/**
+ * Injects fault events into a MemoryArray. Transient events flip the
+ * stored state; stuck-at events install overlay faults with the
+ * complement of the current stored value (so they are observable).
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(Rng &rng) : rng(rng) {}
+
+    /** Flip/stick one random cell. */
+    FaultEvent injectSingleBit(MemoryArray &arr,
+                               FaultPersistence p =
+                                   FaultPersistence::kTransient);
+
+    /** Contiguous burst of @p width cells in row @p row at a random
+     *  start (or @p col_lo if >= 0). */
+    FaultEvent injectRowBurst(MemoryArray &arr, size_t row, size_t width,
+                              long col_lo = -1,
+                              FaultPersistence p =
+                                  FaultPersistence::kTransient);
+
+    /** Contiguous burst of @p height cells in column @p col. */
+    FaultEvent injectColumnBurst(MemoryArray &arr, size_t col,
+                                 size_t height, long row_lo = -1,
+                                 FaultPersistence p =
+                                     FaultPersistence::kTransient);
+
+    /**
+     * WxH rectangular cluster at a random (or given) anchor; each cell
+     * in the footprint flips with probability @p density, but the
+     * event is re-rolled until at least one cell in every spanned row
+     * flips (so width/height describe the real footprint).
+     */
+    FaultEvent injectCluster(MemoryArray &arr, size_t width, size_t height,
+                             double density = 1.0, long row_lo = -1,
+                             long col_lo = -1,
+                             FaultPersistence p =
+                                 FaultPersistence::kTransient);
+
+    /** Fail an entire row. */
+    FaultEvent injectFullRow(MemoryArray &arr, size_t row,
+                             FaultPersistence p =
+                                 FaultPersistence::kTransient);
+
+    /** Fail an entire column. */
+    FaultEvent injectFullColumn(MemoryArray &arr, size_t col,
+                                FaultPersistence p =
+                                    FaultPersistence::kTransient);
+
+    /**
+     * Scatter @p count independent single-cell stuck-at faults
+     * uniformly over the array (the manufacture-time hard-error model
+     * of Section 5.2). Returns one event listing every cell.
+     */
+    FaultEvent injectRandomHardFaults(MemoryArray &arr, size_t count);
+
+  private:
+    void applyCell(MemoryArray &arr, size_t r, size_t c,
+                   FaultPersistence p, FaultEvent &event);
+
+    Rng &rng;
+};
+
+} // namespace tdc
+
+#endif // TDC_ARRAY_FAULT_HH

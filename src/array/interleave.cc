@@ -1,0 +1,43 @@
+#include "array/interleave.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+InterleaveMap::InterleaveMap(size_t word_bits, size_t degree)
+    : wordWidth(word_bits), intvDegree(degree)
+{
+    assert(wordWidth > 0);
+    assert(intvDegree > 0);
+}
+
+size_t
+InterleaveMap::physicalColumn(size_t slot, size_t bit) const
+{
+    assert(slot < intvDegree);
+    assert(bit < wordWidth);
+    return bit * intvDegree + slot;
+}
+
+BitVector
+InterleaveMap::extractWord(const BitVector &row, size_t slot) const
+{
+    assert(row.size() == rowBits());
+    BitVector word(wordWidth);
+    for (size_t b = 0; b < wordWidth; ++b)
+        word.set(b, row.get(physicalColumn(slot, b)));
+    return word;
+}
+
+void
+InterleaveMap::depositWord(BitVector &row, size_t slot,
+                           const BitVector &word) const
+{
+    assert(row.size() == rowBits());
+    assert(word.size() == wordWidth);
+    for (size_t b = 0; b < wordWidth; ++b)
+        row.set(physicalColumn(slot, b), word.get(b));
+}
+
+} // namespace tdc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Physical bit interleaving (column multiplexing) geometry.
+ */
+
+#ifndef TDC_ARRAY_INTERLEAVE_HH
+#define TDC_ARRAY_INTERLEAVE_HH
+
+#include <cstddef>
+
+#include "common/bit_vector.hh"
+
+namespace tdc
+{
+
+/**
+ * Maps logical codeword bits to physical columns of a bit-interleaved
+ * SRAM row (Figure 2(a) of the paper).
+ *
+ * A physical row holds @p degree codewords of @p wordBits bits each,
+ * interleaved so that bit b of word w sits at physical column
+ * b*degree + w. Physically adjacent cells therefore belong to
+ * different logical words, which is what converts a physically
+ * contiguous multi-bit upset into <= degree separate small errors,
+ * one per codeword.
+ */
+class InterleaveMap
+{
+  public:
+    /**
+     * @param word_bits codeword width (data + check bits)
+     * @param degree interleave factor (1 = no interleaving)
+     */
+    InterleaveMap(size_t word_bits, size_t degree);
+
+    size_t wordBits() const { return wordWidth; }
+    size_t degree() const { return intvDegree; }
+
+    /** Physical row width = wordBits * degree. */
+    size_t rowBits() const { return wordWidth * intvDegree; }
+
+    /** Physical column of bit @p bit of word slot @p slot. */
+    size_t physicalColumn(size_t slot, size_t bit) const;
+
+    /** Word slot that owns physical column @p col. */
+    size_t slotOf(size_t col) const { return col % intvDegree; }
+
+    /** Bit index within its word of physical column @p col. */
+    size_t bitOf(size_t col) const { return col / intvDegree; }
+
+    /** Gather word slot @p slot out of a physical row. */
+    BitVector extractWord(const BitVector &row, size_t slot) const;
+
+    /** Scatter @p word into slot @p slot of a physical row. */
+    void depositWord(BitVector &row, size_t slot,
+                     const BitVector &word) const;
+
+    /**
+     * Maximum physically-contiguous error width (in columns) whose
+     * per-word footprint stays within @p per_word_bits contiguous
+     * bits: degree * per_word_bits. This is the paper's "EDC8+Intv4
+     * detects 32-bit errors along a row" arithmetic.
+     */
+    size_t contiguousCoverage(size_t per_word_bits) const
+    {
+        return intvDegree * per_word_bits;
+    }
+
+  private:
+    size_t wordWidth;
+    size_t intvDegree;
+};
+
+} // namespace tdc
+
+#endif // TDC_ARRAY_INTERLEAVE_HH

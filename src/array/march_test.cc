@@ -1,0 +1,60 @@
+#include "array/march_test.hh"
+
+#include <set>
+
+namespace tdc
+{
+
+void
+MarchTest::element(bool ascending, bool read_first, bool expect,
+                   bool write_after, bool write_value, MarchResult &out)
+{
+    const size_t rows = arr.rows();
+    const size_t cols = arr.cols();
+    const size_t total = rows * cols;
+    for (size_t i = 0; i < total; ++i) {
+        const size_t idx = ascending ? i : total - 1 - i;
+        const size_t r = idx / cols;
+        const size_t c = idx % cols;
+        if (read_first) {
+            const bool value = arr.readBit(r, c);
+            ++out.operations;
+            if (value != expect)
+                out.faults.push_back({r, c, value});
+        }
+        if (write_after) {
+            arr.writeBit(r, c, write_value);
+            ++out.operations;
+        }
+    }
+}
+
+MarchResult
+MarchTest::run()
+{
+    MarchResult out;
+    // M0: up w0
+    element(true, false, false, true, false, out);
+    // M1: up r0 w1
+    element(true, true, false, true, true, out);
+    // M2: up r1 w0
+    element(true, true, true, true, false, out);
+    // M3: down r0 w1
+    element(false, true, false, true, true, out);
+    // M4: down r1 w0
+    element(false, true, true, true, false, out);
+    // M5: down r0
+    element(false, true, false, false, false, out);
+
+    // Deduplicate faulty cells (a stuck cell fails several elements).
+    std::set<std::pair<size_t, size_t>> seen;
+    std::vector<MarchFault> unique;
+    for (const MarchFault &f : out.faults) {
+        if (seen.insert({f.row, f.col}).second)
+            unique.push_back(f);
+    }
+    out.faults = std::move(unique);
+    return out;
+}
+
+} // namespace tdc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Memory BIST: a March C- test engine over a MemoryArray.
+ *
+ * The paper assumes on-chip BIST/BISR hardware both for
+ * manufacture-time repair (Section 2.3) and as the host of the 2D
+ * recovery process (Section 4: "The recovery process can be
+ * implemented as part of the on-chip BIST/BISR hardware"). This is
+ * that substrate: March C- detects all stuck-at, transition and
+ * coupling faults visible at cell granularity, and reports the faulty
+ * cell coordinates for the repair allocator.
+ */
+
+#ifndef TDC_ARRAY_MARCH_TEST_HH
+#define TDC_ARRAY_MARCH_TEST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "array/memory_array.hh"
+
+namespace tdc
+{
+
+/** One observed mismatch during a march element. */
+struct MarchFault
+{
+    size_t row = 0;
+    size_t col = 0;
+    /** Value the cell produced instead of the expected one. */
+    bool observed = false;
+
+    bool operator==(const MarchFault &other) const = default;
+};
+
+/** Result of a full march run. */
+struct MarchResult
+{
+    /** Distinct faulty cells (deduplicated across elements). */
+    std::vector<MarchFault> faults;
+    /** Total single-cell read/write operations performed. */
+    uint64_t operations = 0;
+
+    bool clean() const { return faults.empty(); }
+};
+
+/**
+ * March C-: {up(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0);
+ * down(r1)}... The canonical 10N variant implemented here is
+ *
+ *   M0: up   w0
+ *   M1: up   r0 w1
+ *   M2: up   r1 w0
+ *   M3: down r0 w1
+ *   M4: down r1 w0
+ *   M5: down r0
+ *
+ * Note the test is destructive: array contents are overwritten (ends
+ * all-zero), exactly like the hardware. Run it at manufacture time or
+ * on a bank taken out of service.
+ */
+class MarchTest
+{
+  public:
+    explicit MarchTest(MemoryArray &array) : arr(array) {}
+
+    /** Run the full March C- sequence. */
+    MarchResult run();
+
+    /** Cost model: operations per cell of March C- (10N). */
+    static constexpr unsigned opsPerCell = 10;
+
+  private:
+    /** One march element over all cells in the given direction. */
+    void element(bool ascending, bool read_first, bool expect,
+                 bool write_after, bool write_value, MarchResult &out);
+
+    MemoryArray &arr;
+};
+
+} // namespace tdc
+
+#endif // TDC_ARRAY_MARCH_TEST_HH

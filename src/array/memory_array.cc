@@ -1,0 +1,95 @@
+#include "array/memory_array.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+MemoryArray::MemoryArray(size_t rows, size_t cols)
+    : cells(rows, cols)
+{
+    assert(rows > 0 && cols > 0);
+}
+
+BitVector
+MemoryArray::readRow(size_t r) const
+{
+    assert(r < rows());
+    ++reads;
+    BitVector row = cells.row(r);
+    if (!stuckCells.empty()) {
+        for (size_t c = 0; c < cols(); ++c) {
+            auto it = stuckCells.find(key(r, c));
+            if (it != stuckCells.end())
+                row.set(c, it->second);
+        }
+    }
+    return row;
+}
+
+void
+MemoryArray::writeRow(size_t r, const BitVector &value)
+{
+    assert(r < rows());
+    assert(value.size() == cols());
+    ++writes;
+    cells.setRow(r, value);
+}
+
+bool
+MemoryArray::readBit(size_t r, size_t c) const
+{
+    assert(r < rows() && c < cols());
+    auto it = stuckCells.find(key(r, c));
+    if (it != stuckCells.end())
+        return it->second;
+    return cells.get(r, c);
+}
+
+void
+MemoryArray::writeBit(size_t r, size_t c, bool value)
+{
+    assert(r < rows() && c < cols());
+    cells.set(r, c, value);
+}
+
+void
+MemoryArray::flipBit(size_t r, size_t c)
+{
+    assert(r < rows() && c < cols());
+    cells.flip(r, c);
+}
+
+void
+MemoryArray::addStuckAt(size_t r, size_t c, bool value)
+{
+    assert(r < rows() && c < cols());
+    stuckCells[key(r, c)] = value;
+}
+
+void
+MemoryArray::clearFault(size_t r, size_t c)
+{
+    stuckCells.erase(key(r, c));
+}
+
+void
+MemoryArray::clearAllFaults()
+{
+    stuckCells.clear();
+}
+
+bool
+MemoryArray::isStuck(size_t r, size_t c) const
+{
+    return stuckCells.count(key(r, c)) != 0;
+}
+
+void
+MemoryArray::resetCounters()
+{
+    reads = 0;
+    writes = 0;
+}
+
+} // namespace tdc

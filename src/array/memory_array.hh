@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Functional model of one SRAM cell array with a hard-fault overlay.
+ */
+
+#ifndef TDC_ARRAY_MEMORY_ARRAY_HH
+#define TDC_ARRAY_MEMORY_ARRAY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bit_matrix.hh"
+#include "common/bit_vector.hh"
+
+namespace tdc
+{
+
+/**
+ * A rows x cols SRAM cell array. Stored state lives in a BitMatrix;
+ * an overlay of stuck-at faults models manufacture-time and in-field
+ * hard errors: a stuck cell reads its stuck value regardless of what
+ * was written. Soft errors are injected by flipping stored state
+ * directly (see FaultInjector).
+ *
+ * Reads and writes are whole physical rows, matching wordline
+ * granularity; the interleave map slices words out of rows.
+ */
+class MemoryArray
+{
+  public:
+    MemoryArray(size_t rows, size_t cols);
+
+    size_t rows() const { return cells.rows(); }
+    size_t cols() const { return cells.cols(); }
+
+    /** Read physical row @p r with stuck-at faults applied. */
+    BitVector readRow(size_t r) const;
+
+    /** Write physical row @p r (stuck cells silently keep their value). */
+    void writeRow(size_t r, const BitVector &value);
+
+    /** Read a single cell (with faults applied). */
+    bool readBit(size_t r, size_t c) const;
+
+    /** Write a single cell. */
+    void writeBit(size_t r, size_t c, bool value);
+
+    /** Flip stored state (models a soft-error upset). */
+    void flipBit(size_t r, size_t c);
+
+    /** Pin cell (r, c) to @p value until clearFault/clearAllFaults. */
+    void addStuckAt(size_t r, size_t c, bool value);
+
+    /** Remove a stuck-at fault (cell reverts to stored state). */
+    void clearFault(size_t r, size_t c);
+
+    /** Remove every stuck-at fault. */
+    void clearAllFaults();
+
+    /** Number of stuck-at cells currently installed. */
+    size_t faultCount() const { return stuckCells.size(); }
+
+    /** True iff cell (r, c) has a stuck-at fault. */
+    bool isStuck(size_t r, size_t c) const;
+
+    uint64_t readCount() const { return reads; }
+    uint64_t writeCount() const { return writes; }
+    void resetCounters();
+
+  private:
+    uint64_t key(size_t r, size_t c) const { return r * cols() + c; }
+
+    BitMatrix cells;
+    std::unordered_map<uint64_t, bool> stuckCells;
+    mutable uint64_t reads = 0;
+    uint64_t writes = 0;
+};
+
+} // namespace tdc
+
+#endif // TDC_ARRAY_MEMORY_ARRAY_HH

@@ -1,0 +1,93 @@
+#include "array/product_code_array.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+ProductCodeArray::ProductCodeArray(size_t rows, size_t cols)
+    : data(rows, cols), rowParity(rows), colParity(cols)
+{
+}
+
+void
+ProductCodeArray::writeRow(size_t r, const BitVector &value)
+{
+    assert(value.size() == cols());
+    const BitVector old = data.readRow(r);
+    data.writeRow(r, value);
+    const BitVector delta = old ^ value;
+    // Row parity: overall parity of the new row content.
+    rowParity.set(r, value.parity());
+    // Column parity: absorb the per-column change.
+    colParity ^= delta;
+}
+
+BitVector
+ProductCodeArray::rowSyndrome() const
+{
+    BitVector syn(rows());
+    for (size_t r = 0; r < rows(); ++r)
+        syn.set(r, data.readRow(r).parity() != rowParity.get(r));
+    return syn;
+}
+
+BitVector
+ProductCodeArray::colSyndrome() const
+{
+    BitVector acc(cols());
+    for (size_t r = 0; r < rows(); ++r)
+        acc ^= data.readRow(r);
+    acc ^= colParity;
+    return acc;
+}
+
+ProductCodeReport
+ProductCodeArray::checkAndCorrect()
+{
+    ProductCodeReport report;
+    const BitVector rows_bad = rowSyndrome();
+    const BitVector cols_bad = colSyndrome();
+
+    const size_t nr = rows_bad.popcount();
+    const size_t nc = cols_bad.popcount();
+
+    if (nr == 0 && nc == 0) {
+        report.clean = true;
+        return report;
+    }
+
+    // Intersection decoding is unambiguous only when at most one line
+    // is flagged in one of the two dimensions: one bad row with k bad
+    // columns = k errors in that row; one bad column with k bad rows
+    // likewise. With >= 2 bad rows AND >= 2 bad columns the error
+    // pattern is ambiguous (any permutation matching the syndrome is
+    // equally plausible), the classic product-code limitation.
+    if (nr >= 2 && nc >= 2) {
+        report.uncorrectable = true;
+        return report;
+    }
+    if (nr == 0 || nc == 0) {
+        // Parity-bit-only corruption (errors in the check storage) or
+        // an invisible even pattern; treat parity as stale and rebuild.
+        report.uncorrectable = true;
+        return report;
+    }
+
+    for (size_t r = 0; r < rows(); ++r) {
+        if (!rows_bad.get(r))
+            continue;
+        for (size_t c = 0; c < cols(); ++c) {
+            if (cols_bad.get(c)) {
+                data.flipBit(r, c);
+                ++report.corrected;
+            }
+        }
+    }
+
+    report.clean = rowSyndrome().none() && colSyndrome().none();
+    report.uncorrectable = !report.clean;
+    return report;
+}
+
+} // namespace tdc

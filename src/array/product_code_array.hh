@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Related-work baseline: a classic HV-parity / product-code protected
+ * array (Calingaert '61, Elias '54, Tanner '84, Yamada '84 — the
+ * paper's Section 6).
+ *
+ * One even-parity bit per row and one parity bit per column protect
+ * the whole array. A single flipped cell produces exactly one row
+ * mismatch and one column mismatch whose intersection locates it.
+ * Unlike 2D coding, detection *requires reading both parity sets*
+ * (no cheap per-word fast path), and multi-bit patterns quickly
+ * become ambiguous or invisible — the deficiencies that motivate the
+ * paper's decoupled horizontal/vertical design.
+ */
+
+#ifndef TDC_ARRAY_PRODUCT_CODE_ARRAY_HH
+#define TDC_ARRAY_PRODUCT_CODE_ARRAY_HH
+
+#include <cstdint>
+
+#include "array/memory_array.hh"
+#include "common/bit_vector.hh"
+
+namespace tdc
+{
+
+/** Result of a product-code check/correct pass. */
+struct ProductCodeReport
+{
+    /** Array consistent with both parity sets. */
+    bool clean = false;
+    /** Bits flipped back by intersection decoding. */
+    size_t corrected = 0;
+    /** Mismatches remained that could not be resolved. */
+    bool uncorrectable = false;
+};
+
+/**
+ * R x C data array with R row-parity bits and C column-parity bits,
+ * maintained on every write.
+ */
+class ProductCodeArray
+{
+  public:
+    ProductCodeArray(size_t rows, size_t cols);
+
+    size_t rows() const { return data.rows(); }
+    size_t cols() const { return data.cols(); }
+
+    /** Underlying cells, exposed for fault injection. */
+    MemoryArray &cells() { return data; }
+
+    /** Write a full row, updating both parity sets. */
+    void writeRow(size_t r, const BitVector &value);
+
+    /** Read a full row (no checking: product codes have no per-word
+     *  detection path; integrity comes from check()). */
+    BitVector readRow(size_t r) const { return data.readRow(r); }
+
+    /**
+     * Full-array check-and-correct sweep: recompute row and column
+     * parities; while exactly pairable mismatches remain, flip the
+     * intersection cells. Single-bit errors are always corrected;
+     * rectangular multi-bit patterns with >= 2 rows and >= 2 columns
+     * are ambiguous (the classic product-code failure) and reported
+     * uncorrectable; patterns with even counts per line are invisible.
+     */
+    ProductCodeReport checkAndCorrect();
+
+    /** Storage overhead: (R + C) extra bits over R*C data bits. */
+    double storageOverhead() const
+    {
+        return double(rows() + cols()) / double(rows() * cols());
+    }
+
+  private:
+    /** Row/column parity mismatch vectors vs. stored parity. */
+    BitVector rowSyndrome() const;
+    BitVector colSyndrome() const;
+
+    MemoryArray data;
+    BitVector rowParity; ///< parity bit per row
+    BitVector colParity; ///< parity bit per column
+};
+
+} // namespace tdc
+
+#endif // TDC_ARRAY_PRODUCT_CODE_ARRAY_HH

@@ -1,0 +1,130 @@
+#include "array/spare_repair.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace tdc
+{
+
+namespace
+{
+
+/** Count faults per row and per column. */
+void
+tally(const std::vector<MarchFault> &faults,
+      std::map<size_t, size_t> &per_row, std::map<size_t, size_t> &per_col)
+{
+    per_row.clear();
+    per_col.clear();
+    for (const MarchFault &f : faults) {
+        ++per_row[f.row];
+        ++per_col[f.col];
+    }
+}
+
+/** Remove all faults on a given row (or column). */
+void
+removeLine(std::vector<MarchFault> &faults, size_t index, bool is_row)
+{
+    faults.erase(std::remove_if(faults.begin(), faults.end(),
+                                [&](const MarchFault &f) {
+                                    return (is_row ? f.row : f.col) ==
+                                           index;
+                                }),
+                 faults.end());
+}
+
+} // namespace
+
+RepairPlan
+SpareRepair::solve(const std::vector<MarchFault> &faults) const
+{
+    RepairPlan plan;
+    std::vector<MarchFault> remaining = faults;
+    size_t rows_left = spareRows;
+    size_t cols_left = spareCols;
+
+    // Phase 1: must-repair closure.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::map<size_t, size_t> per_row, per_col;
+        tally(remaining, per_row, per_col);
+        for (const auto &[row, count] : per_row) {
+            if (count > cols_left && rows_left > 0) {
+                plan.rowsReplaced.push_back(row);
+                --rows_left;
+                removeLine(remaining, row, true);
+                changed = true;
+                break;
+            }
+        }
+        if (changed)
+            continue;
+        for (const auto &[col, count] : per_col) {
+            if (count > rows_left && cols_left > 0) {
+                plan.colsReplaced.push_back(col);
+                --cols_left;
+                removeLine(remaining, col, false);
+                changed = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: greedy cover.
+    while (!remaining.empty() && (rows_left > 0 || cols_left > 0)) {
+        std::map<size_t, size_t> per_row, per_col;
+        tally(remaining, per_row, per_col);
+        size_t best_row = 0, best_row_count = 0;
+        for (const auto &[row, count] : per_row) {
+            if (count > best_row_count) {
+                best_row = row;
+                best_row_count = count;
+            }
+        }
+        size_t best_col = 0, best_col_count = 0;
+        for (const auto &[col, count] : per_col) {
+            if (count > best_col_count) {
+                best_col = col;
+                best_col_count = count;
+            }
+        }
+        const bool use_row =
+            rows_left > 0 &&
+            (cols_left == 0 || best_row_count >= best_col_count);
+        if (use_row) {
+            plan.rowsReplaced.push_back(best_row);
+            --rows_left;
+            removeLine(remaining, best_row, true);
+        } else {
+            plan.colsReplaced.push_back(best_col);
+            --cols_left;
+            removeLine(remaining, best_col, false);
+        }
+    }
+
+    plan.unrepaired = std::move(remaining);
+    return plan;
+}
+
+RepairPlan
+SpareRepair::solveWithEcc(const std::vector<MarchFault> &faults,
+                          size_t word_bits) const
+{
+    // Group faults into (row, word) buckets; single-fault words are
+    // absorbed by in-line ECC and need no spare resources.
+    std::map<std::pair<size_t, size_t>, std::vector<MarchFault>> words;
+    for (const MarchFault &f : faults)
+        words[{f.row, f.col / word_bits}].push_back(f);
+
+    std::vector<MarchFault> multi;
+    for (const auto &[key, list] : words) {
+        if (list.size() >= 2)
+            multi.insert(multi.end(), list.begin(), list.end());
+    }
+    return solve(multi);
+}
+
+} // namespace tdc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * BISR: spare row/column allocation from a BIST fault map — the
+ * conventional hardware-redundancy repair of Section 2.3.
+ */
+
+#ifndef TDC_ARRAY_SPARE_REPAIR_HH
+#define TDC_ARRAY_SPARE_REPAIR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "array/march_test.hh"
+
+namespace tdc
+{
+
+/** Allocation produced by the repair solver. */
+struct RepairPlan
+{
+    /** Physical rows remapped to spare rows. */
+    std::vector<size_t> rowsReplaced;
+    /** Physical columns remapped to spare columns. */
+    std::vector<size_t> colsReplaced;
+    /** Faults left uncovered (chip is bad if nonempty). */
+    std::vector<MarchFault> unrepaired;
+
+    bool success() const { return unrepaired.empty(); }
+};
+
+/**
+ * Greedy must-repair allocator, the standard BISR algorithm:
+ *
+ *  1. Any row with more faults than the spare-column budget *must*
+ *     use a spare row (a column per fault would overrun), and dually
+ *     for columns — iterate until closure.
+ *  2. Remaining sparse faults are covered greedily: pick whichever
+ *     line (row or column) covers the most remaining faults while
+ *     budget remains.
+ *
+ * Exact minimum repair is NP-complete; the must-repair + greedy
+ * heuristic is what real BISR controllers ship.
+ */
+class SpareRepair
+{
+  public:
+    /**
+     * @param spare_rows available spare rows
+     * @param spare_cols available spare columns
+     */
+    SpareRepair(size_t spare_rows, size_t spare_cols)
+        : spareRows(spare_rows), spareCols(spare_cols)
+    {
+    }
+
+    /** Solve the allocation for @p faults. */
+    RepairPlan solve(const std::vector<MarchFault> &faults) const;
+
+    /**
+     * Convenience for the yield studies: with @p ecc_corrects_single,
+     * words containing exactly one faulty bit are repaired by in-line
+     * ECC and removed from the fault map before spare allocation
+     * (Section 5.2's synergistic configuration). @p word_bits groups
+     * columns into words within a row.
+     */
+    RepairPlan solveWithEcc(const std::vector<MarchFault> &faults,
+                            size_t word_bits) const;
+
+  private:
+    size_t spareRows;
+    size_t spareCols;
+};
+
+} // namespace tdc
+
+#endif // TDC_ARRAY_SPARE_REPAIR_HH

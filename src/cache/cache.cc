@@ -1,0 +1,170 @@
+#include "cache/cache.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+CacheParams
+CacheParams::l1()
+{
+    CacheParams p;
+    p.capacityBytes = 64 * 1024;
+    p.associativity = 2;
+    p.lineBytes = 64;
+    p.writeBack = true;
+    p.name = "L1";
+    return p;
+}
+
+CacheParams
+CacheParams::l2Fat()
+{
+    CacheParams p;
+    p.capacityBytes = 16ull * 1024 * 1024;
+    p.associativity = 8;
+    p.lineBytes = 64;
+    p.writeBack = true;
+    p.name = "L2(fat)";
+    return p;
+}
+
+CacheParams
+CacheParams::l2Lean()
+{
+    CacheParams p;
+    p.capacityBytes = 4ull * 1024 * 1024;
+    p.associativity = 16;
+    p.lineBytes = 64;
+    p.writeBack = true;
+    p.name = "L2(lean)";
+    return p;
+}
+
+Cache::Cache(const CacheParams &params)
+    : cfg(params), lines(params.numSets() * params.associativity)
+{
+    assert(cfg.capacityBytes % (cfg.lineBytes * cfg.associativity) == 0);
+}
+
+size_t
+Cache::setIndex(uint64_t addr) const
+{
+    return (addr / cfg.lineBytes) % cfg.numSets();
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return addr / cfg.lineBytes / cfg.numSets();
+}
+
+uint64_t
+Cache::lineAddr(uint64_t tag, size_t set) const
+{
+    return (tag * cfg.numSets() + set) * cfg.lineBytes;
+}
+
+CacheAccessOutcome
+Cache::access(uint64_t addr, bool is_write)
+{
+    CacheAccessOutcome out;
+    const size_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    Line *base = &lines[set * cfg.associativity];
+
+    ++lruClock;
+    Line *victim = base;
+    for (size_t w = 0; w < cfg.associativity; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            out.hit = true;
+            out.frame = set * cfg.associativity + w;
+            line.lruStamp = lruClock;
+            if (is_write && cfg.writeBack)
+                line.dirty = true;
+            ++hitCount;
+            return out;
+        }
+        if (!line.valid) {
+            victim = &line; // prefer an invalid way
+        } else if (victim->valid && line.lruStamp < victim->lruStamp) {
+            victim = &line;
+        }
+    }
+
+    ++missCount;
+    if (victim->valid) {
+        out.evicted = true;
+        out.evictedDirty = victim->dirty;
+        out.evictedAddr = lineAddr(victim->tag, set);
+        if (victim->dirty)
+            ++writebackCount;
+    }
+    victim->valid = true;
+    victim->dirty = is_write && cfg.writeBack;
+    victim->tag = tag;
+    victim->lruStamp = lruClock;
+    out.frame = size_t(victim - &lines[0]);
+    return out;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    const size_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    const Line *base = &lines[set * cfg.associativity];
+    for (size_t w = 0; w < cfg.associativity; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::invalidate(uint64_t addr, bool *was_dirty)
+{
+    const size_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    Line *base = &lines[set * cfg.associativity];
+    for (size_t w = 0; w < cfg.associativity; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            if (was_dirty != nullptr)
+                *was_dirty = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            return true;
+        }
+    }
+    if (was_dirty != nullptr)
+        *was_dirty = false;
+    return false;
+}
+
+size_t
+Cache::occupancy() const
+{
+    size_t count = 0;
+    for (const Line &line : lines)
+        count += line.valid;
+    return count;
+}
+
+double
+Cache::hitRate() const
+{
+    const uint64_t total = hitCount + missCount;
+    return total == 0 ? 0.0 : double(hitCount) / double(total);
+}
+
+void
+Cache::resetStats()
+{
+    hitCount = 0;
+    missCount = 0;
+    writebackCount = 0;
+}
+
+} // namespace tdc

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Functional set-associative cache model: tags, LRU replacement,
+ * write-back dirty state. Used by the examples and integration tests
+ * to exercise the 2D coding layer under realistic access streams;
+ * the cycle-level CMP simulation (src/cpu) models timing separately.
+ */
+
+#ifndef TDC_CACHE_CACHE_HH
+#define TDC_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tdc
+{
+
+/** Static geometry of one cache. */
+struct CacheParams
+{
+    size_t capacityBytes = 64 * 1024;
+    size_t associativity = 2;
+    size_t lineBytes = 64;
+    bool writeBack = true;
+    std::string name = "cache";
+
+    size_t numSets() const
+    {
+        return capacityBytes / (lineBytes * associativity);
+    }
+    size_t numLines() const { return capacityBytes / lineBytes; }
+
+    /** Table 1 L1: 64kB, 2-way, 64B lines, write-back. */
+    static CacheParams l1();
+    /** Table 1 fat-CMP L2: 16MB, 8-way, 64B lines. */
+    static CacheParams l2Fat();
+    /** Table 1 lean-CMP L2: 4MB, 16-way, 64B lines. */
+    static CacheParams l2Lean();
+};
+
+/** Outcome of one functional cache access. */
+struct CacheAccessOutcome
+{
+    bool hit = false;
+    /** A line was evicted to make room. */
+    bool evicted = false;
+    /** The evicted line was dirty (write-back traffic). */
+    bool evictedDirty = false;
+    /** Address of the evicted line (valid iff evicted). */
+    uint64_t evictedAddr = 0;
+    /**
+     * Frame (set * associativity + way) the line occupies after the
+     * access: the physical data-array slot a protected data store
+     * maps to.
+     */
+    size_t frame = 0;
+};
+
+/**
+ * Functional set-associative cache with true-LRU replacement and
+ * write-back dirty tracking. Thread-unsafe by design (one per
+ * simulated bank/core).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    const CacheParams &params() const { return cfg; }
+
+    /**
+     * Access @p addr; allocate on miss. Write hits/allocations mark
+     * the line dirty when the cache is write-back.
+     */
+    CacheAccessOutcome access(uint64_t addr, bool is_write);
+
+    /** Tag probe without side effects. */
+    bool contains(uint64_t addr) const;
+
+    /** Invalidate the line holding @p addr; returns true if present.
+     *  @p was_dirty reports the dirty state of the dropped line. */
+    bool invalidate(uint64_t addr, bool *was_dirty = nullptr);
+
+    /** Number of resident lines. */
+    size_t occupancy() const;
+
+    uint64_t hits() const { return hitCount; }
+    uint64_t misses() const { return missCount; }
+    uint64_t writebacks() const { return writebackCount; }
+    double hitRate() const;
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint64_t tag = 0;
+        uint64_t lruStamp = 0;
+    };
+
+    size_t setIndex(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+    uint64_t lineAddr(uint64_t tag, size_t set) const;
+
+    CacheParams cfg;
+    std::vector<Line> lines; // sets * assoc, set-major
+    uint64_t lruClock = 0;
+    uint64_t hitCount = 0;
+    uint64_t missCount = 0;
+    uint64_t writebackCount = 0;
+};
+
+} // namespace tdc
+
+#endif // TDC_CACHE_CACHE_HH

@@ -1,0 +1,151 @@
+#include "cache/protected_hierarchy.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+namespace
+{
+
+/** Banks needed so a store holds at least @p frames lines. */
+size_t
+banksFor(const TwoDimConfig &bank, size_t frames)
+{
+    const size_t words_needed = frames * 8;
+    const size_t words_per_bank = bank.dataRows * bank.interleaveDegree;
+    return (words_needed + words_per_bank - 1) / words_per_bank;
+}
+
+} // namespace
+
+ProtectedCacheHierarchy::ProtectedCacheHierarchy(
+    const CacheParams &l1_params, const CacheParams &l2_params,
+    const TwoDimConfig &l1_bank, const TwoDimConfig &l2_bank)
+    : l1Tags(l1_params),
+      l2Tags(l2_params),
+      l1Store(l1_bank, banksFor(l1_bank, l1_params.numLines())),
+      l2Store(l2_bank, banksFor(l2_bank, l2_params.numLines()))
+{
+    assert(l1_bank.wordBits == 64 && l2_bank.wordBits == 64);
+    assert(l1_params.lineBytes == 64 && l2_params.lineBytes == 64);
+    assert(l1Store.totalWords() >= l1_params.numLines() * 8);
+    assert(l2Store.totalWords() >= l2_params.numLines() * 8);
+}
+
+uint64_t
+ProtectedCacheHierarchy::lineBase(uint64_t addr) const
+{
+    return addr & ~uint64_t(63);
+}
+
+LineData
+ProtectedCacheHierarchy::readFrame(TwoDimCacheStore &store, size_t frame)
+{
+    LineData line;
+    for (size_t w = 0; w < 8; ++w) {
+        AccessResult res = store.readWord(frame * 8 + w);
+        if (res.status == DecodeStatus::kDetectedUncorrectable)
+            ++stat.dataLossEvents;
+        line.words[w] = res.data.toUint64();
+    }
+    return line;
+}
+
+void
+ProtectedCacheHierarchy::writeFrame(TwoDimCacheStore &store, size_t frame,
+                                    const LineData &data)
+{
+    for (size_t w = 0; w < 8; ++w)
+        store.writeWord(frame * 8 + w, BitVector(64, data.words[w]));
+}
+
+size_t
+ProtectedCacheHierarchy::fetchIntoL2(uint64_t addr)
+{
+    const CacheAccessOutcome out = l2Tags.access(addr, false);
+    if (out.hit) {
+        ++stat.l2Hits;
+        return out.frame;
+    }
+    ++stat.l2Misses;
+    // L2 victim write-back to memory (read its data before the frame
+    // is reused).
+    if (out.evicted && out.evictedDirty) {
+        memory[out.evictedAddr] = readFrame(l2Store, out.frame);
+        ++stat.writebacksToMemory;
+    }
+    // Fill from memory (absent lines read as zero).
+    auto it = memory.find(lineBase(addr));
+    writeFrame(l2Store, out.frame,
+               it != memory.end() ? it->second : LineData{});
+    return out.frame;
+}
+
+LineData
+ProtectedCacheHierarchy::readLine(uint64_t addr)
+{
+    ++stat.reads;
+    const uint64_t base = lineBase(addr);
+    const CacheAccessOutcome out = l1Tags.access(base, false);
+    if (out.hit) {
+        ++stat.l1Hits;
+        return readFrame(l1Store, out.frame);
+    }
+    ++stat.l1Misses;
+    // Write back the dirty victim into L2 before reusing the frame.
+    if (out.evicted && out.evictedDirty) {
+        const LineData victim = readFrame(l1Store, out.frame);
+        const CacheAccessOutcome wb =
+            l2Tags.access(out.evictedAddr, true);
+        if (wb.evicted && wb.evictedDirty) {
+            memory[wb.evictedAddr] = readFrame(l2Store, wb.frame);
+            ++stat.writebacksToMemory;
+        }
+        writeFrame(l2Store, wb.frame, victim);
+        ++stat.writebacksToL2;
+    }
+    const size_t l2_frame = fetchIntoL2(base);
+    const LineData line = readFrame(l2Store, l2_frame);
+    writeFrame(l1Store, out.frame, line);
+    return line;
+}
+
+void
+ProtectedCacheHierarchy::writeLine(uint64_t addr, const LineData &data)
+{
+    ++stat.writes;
+    const uint64_t base = lineBase(addr);
+    const CacheAccessOutcome out = l1Tags.access(base, true);
+    if (!out.hit) {
+        ++stat.l1Misses;
+        if (out.evicted && out.evictedDirty) {
+            const LineData victim = readFrame(l1Store, out.frame);
+            const CacheAccessOutcome wb =
+                l2Tags.access(out.evictedAddr, true);
+            if (wb.evicted && wb.evictedDirty) {
+                memory[wb.evictedAddr] = readFrame(l2Store, wb.frame);
+                ++stat.writebacksToMemory;
+            }
+            writeFrame(l2Store, wb.frame, victim);
+            ++stat.writebacksToL2;
+        }
+        // Write-allocate: fetch the line through L2 first (the write
+        // below fully overwrites it, but allocation keeps the L2
+        // inclusive state simple).
+        fetchIntoL2(base);
+    } else {
+        ++stat.l1Hits;
+    }
+    writeFrame(l1Store, out.frame, data);
+}
+
+bool
+ProtectedCacheHierarchy::scrubAll()
+{
+    const bool a = l1Store.scrubAll();
+    const bool b = l2Store.scrubAll();
+    return a && b;
+}
+
+} // namespace tdc

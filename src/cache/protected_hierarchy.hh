@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A functional two-level cache hierarchy whose data arrays are
+ * 2D-protected stores: the adoption-level view of the paper's scheme.
+ *
+ * Tags and replacement come from the functional Cache model; line
+ * data lives in TwoDimCacheStore banks indexed by the cache frame
+ * (set, way). Fills, write hits and write-backs all route through
+ * writeWord — i.e. through the read-before-write vertical-parity
+ * maintenance — and reads go through the horizontal detection path
+ * with transparent recovery.
+ */
+
+#ifndef TDC_CACHE_PROTECTED_HIERARCHY_HH
+#define TDC_CACHE_PROTECTED_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "cache/cache.hh"
+#include "core/twod_cache_store.hh"
+
+namespace tdc
+{
+
+/** One 64-byte cache line as eight 64-bit words. */
+struct LineData
+{
+    std::array<uint64_t, 8> words{};
+
+    bool operator==(const LineData &other) const = default;
+};
+
+/** Aggregate statistics of the hierarchy. */
+struct HierarchyStats
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t l1Hits = 0;
+    uint64_t l1Misses = 0;
+    uint64_t l2Hits = 0;
+    uint64_t l2Misses = 0;
+    uint64_t writebacksToL2 = 0;
+    uint64_t writebacksToMemory = 0;
+    uint64_t dataLossEvents = 0; ///< uncorrectable reads observed
+};
+
+/**
+ * L1 + shared L2 with 2D-protected data stores and a simple
+ * word-granular backing memory. Single-requester functional model:
+ * the timing aspects live in src/cpu, this class answers "does the
+ * data survive the full movement through a protected hierarchy".
+ */
+class ProtectedCacheHierarchy
+{
+  public:
+    /**
+     * @param l1_params / l2_params tag-array geometries
+     * @param l1_bank / l2_bank per-bank 2D configurations for the two
+     *        data stores (word width must be 64)
+     */
+    ProtectedCacheHierarchy(const CacheParams &l1_params,
+                            const CacheParams &l2_params,
+                            const TwoDimConfig &l1_bank,
+                            const TwoDimConfig &l2_bank);
+
+    /** Write a full line (marks it dirty in L1). */
+    void writeLine(uint64_t addr, const LineData &data);
+
+    /** Read a full line (filling through L2/memory on misses). */
+    LineData readLine(uint64_t addr);
+
+    /** Scrub both data stores; true iff both end clean. */
+    bool scrubAll();
+
+    /** Data stores, exposed for fault injection. */
+    TwoDimCacheStore &l1Data() { return l1Store; }
+    TwoDimCacheStore &l2Data() { return l2Store; }
+
+    const HierarchyStats &stats() const { return stat; }
+
+  private:
+    /** Align @p addr down to its line base. */
+    uint64_t lineBase(uint64_t addr) const;
+
+    /** Read/write a whole line in a store at a given frame. */
+    LineData readFrame(TwoDimCacheStore &store, size_t frame);
+    void writeFrame(TwoDimCacheStore &store, size_t frame,
+                    const LineData &data);
+
+    /** Fetch a line into L2 (from memory if needed); returns the L2
+     *  frame that now holds it. */
+    size_t fetchIntoL2(uint64_t addr);
+
+    Cache l1Tags;
+    Cache l2Tags;
+    TwoDimCacheStore l1Store;
+    TwoDimCacheStore l2Store;
+    std::unordered_map<uint64_t, LineData> memory;
+    HierarchyStats stat;
+};
+
+} // namespace tdc
+
+#endif // TDC_CACHE_PROTECTED_HIERARCHY_HH

@@ -1,0 +1,91 @@
+#include "common/bit_matrix.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+BitMatrix::BitMatrix(size_t rows, size_t cols)
+    : numCols(cols), rowStore(rows, BitVector(cols))
+{
+}
+
+bool
+BitMatrix::get(size_t row, size_t col) const
+{
+    assert(row < rows() && col < numCols);
+    return rowStore[row].get(col);
+}
+
+void
+BitMatrix::set(size_t row, size_t col, bool value)
+{
+    assert(row < rows() && col < numCols);
+    rowStore[row].set(col, value);
+}
+
+void
+BitMatrix::flip(size_t row, size_t col)
+{
+    assert(row < rows() && col < numCols);
+    rowStore[row].flip(col);
+}
+
+const BitVector &
+BitMatrix::row(size_t r) const
+{
+    assert(r < rows());
+    return rowStore[r];
+}
+
+BitVector &
+BitMatrix::row(size_t r)
+{
+    assert(r < rows());
+    return rowStore[r];
+}
+
+void
+BitMatrix::setRow(size_t r, const BitVector &value)
+{
+    assert(r < rows());
+    assert(value.size() == numCols);
+    rowStore[r] = value;
+}
+
+BitVector
+BitMatrix::column(size_t c) const
+{
+    assert(c < numCols);
+    BitVector out(rows());
+    for (size_t r = 0; r < rows(); ++r)
+        out.set(r, rowStore[r].get(c));
+    return out;
+}
+
+void
+BitMatrix::setColumn(size_t c, const BitVector &value)
+{
+    assert(c < numCols);
+    assert(value.size() == rows());
+    for (size_t r = 0; r < rows(); ++r)
+        rowStore[r].set(c, value.get(r));
+}
+
+void
+BitMatrix::clear()
+{
+    for (auto &r : rowStore)
+        r.clear();
+}
+
+size_t
+BitMatrix::popcount() const
+{
+    size_t count = 0;
+    for (const auto &r : rowStore)
+        count += r.popcount();
+    return count;
+}
+
+} // namespace tdc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Two-dimensional bit matrix: the in-memory model of an SRAM cell array.
+ */
+
+#ifndef TDC_COMMON_BIT_MATRIX_HH
+#define TDC_COMMON_BIT_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bit_vector.hh"
+
+namespace tdc
+{
+
+/**
+ * A rows x cols matrix of bits, stored row-major as one BitVector per
+ * row. Models the physical cell array of an SRAM sub-bank: "horizontal"
+ * is the wordline direction (a row), "vertical" is the bitline
+ * direction (a column), matching the paper's terminology.
+ */
+class BitMatrix
+{
+  public:
+    BitMatrix() = default;
+
+    /** Construct a @p rows x @p cols matrix of cleared bits. */
+    BitMatrix(size_t rows, size_t cols);
+
+    size_t rows() const { return rowStore.size(); }
+    size_t cols() const { return numCols; }
+
+    bool get(size_t row, size_t col) const;
+    void set(size_t row, size_t col, bool value);
+    void flip(size_t row, size_t col);
+
+    /** Read-only access to an entire row. */
+    const BitVector &row(size_t r) const;
+
+    /** Mutable access to an entire row. */
+    BitVector &row(size_t r);
+
+    /** Replace row @p r (length must equal cols()). */
+    void setRow(size_t r, const BitVector &value);
+
+    /** Extract column @p c as a BitVector of length rows(). */
+    BitVector column(size_t c) const;
+
+    /** Replace column @p c (length must equal rows()). */
+    void setColumn(size_t c, const BitVector &value);
+
+    /** Clear every bit. */
+    void clear();
+
+    /** Total number of set bits in the matrix. */
+    size_t popcount() const;
+
+    bool operator==(const BitMatrix &other) const = default;
+
+  private:
+    size_t numCols = 0;
+    std::vector<BitVector> rowStore;
+};
+
+} // namespace tdc
+
+#endif // TDC_COMMON_BIT_MATRIX_HH

@@ -1,0 +1,231 @@
+#include "common/bit_vector.hh"
+
+#include <bit>
+
+namespace tdc
+{
+
+BitVector::BitVector(size_t nbits)
+    : numBits(nbits), wordStore((nbits + bitsPerWord - 1) / bitsPerWord, 0)
+{
+}
+
+BitVector::BitVector(size_t nbits, uint64_t value)
+    : BitVector(nbits)
+{
+    if (!wordStore.empty()) {
+        wordStore[0] = value;
+        trimTopWord();
+    }
+}
+
+void
+BitVector::trimTopWord()
+{
+    const size_t rem = numBits % bitsPerWord;
+    if (rem != 0 && !wordStore.empty())
+        wordStore.back() &= (uint64_t(1) << rem) - 1;
+}
+
+bool
+BitVector::get(size_t pos) const
+{
+    assert(pos < numBits);
+    return (wordStore[pos / bitsPerWord] >> (pos % bitsPerWord)) & 1;
+}
+
+void
+BitVector::set(size_t pos, bool value)
+{
+    assert(pos < numBits);
+    const uint64_t mask = uint64_t(1) << (pos % bitsPerWord);
+    if (value)
+        wordStore[pos / bitsPerWord] |= mask;
+    else
+        wordStore[pos / bitsPerWord] &= ~mask;
+}
+
+void
+BitVector::flip(size_t pos)
+{
+    assert(pos < numBits);
+    wordStore[pos / bitsPerWord] ^= uint64_t(1) << (pos % bitsPerWord);
+}
+
+void
+BitVector::clear()
+{
+    std::fill(wordStore.begin(), wordStore.end(), 0);
+}
+
+bool
+BitVector::none() const
+{
+    for (uint64_t w : wordStore)
+        if (w != 0)
+            return false;
+    return true;
+}
+
+size_t
+BitVector::popcount() const
+{
+    size_t count = 0;
+    for (uint64_t w : wordStore)
+        count += std::popcount(w);
+    return count;
+}
+
+size_t
+BitVector::findFirst() const
+{
+    for (size_t i = 0; i < wordStore.size(); ++i) {
+        if (wordStore[i] != 0)
+            return i * bitsPerWord + std::countr_zero(wordStore[i]);
+    }
+    return numBits;
+}
+
+size_t
+BitVector::findLast() const
+{
+    for (size_t i = wordStore.size(); i-- > 0;) {
+        if (wordStore[i] != 0)
+            return i * bitsPerWord + 63 - std::countl_zero(wordStore[i]);
+    }
+    return numBits;
+}
+
+BitVector &
+BitVector::operator^=(const BitVector &other)
+{
+    assert(numBits == other.numBits);
+    for (size_t i = 0; i < wordStore.size(); ++i)
+        wordStore[i] ^= other.wordStore[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator&=(const BitVector &other)
+{
+    assert(numBits == other.numBits);
+    for (size_t i = 0; i < wordStore.size(); ++i)
+        wordStore[i] &= other.wordStore[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator|=(const BitVector &other)
+{
+    assert(numBits == other.numBits);
+    for (size_t i = 0; i < wordStore.size(); ++i)
+        wordStore[i] |= other.wordStore[i];
+    return *this;
+}
+
+BitVector
+BitVector::operator^(const BitVector &other) const
+{
+    BitVector out(*this);
+    out ^= other;
+    return out;
+}
+
+BitVector
+BitVector::operator&(const BitVector &other) const
+{
+    BitVector out(*this);
+    out &= other;
+    return out;
+}
+
+BitVector
+BitVector::operator|(const BitVector &other) const
+{
+    BitVector out(*this);
+    out |= other;
+    return out;
+}
+
+bool
+BitVector::operator==(const BitVector &other) const
+{
+    return numBits == other.numBits && wordStore == other.wordStore;
+}
+
+BitVector
+BitVector::slice(size_t pos, size_t len) const
+{
+    assert(pos + len <= numBits);
+    BitVector out(len);
+    // Word-at-a-time copy with a bit offset.
+    const size_t shift = pos % bitsPerWord;
+    size_t src = pos / bitsPerWord;
+    for (size_t dst = 0; dst < out.wordStore.size(); ++dst, ++src) {
+        uint64_t w = wordStore[src] >> shift;
+        if (shift != 0 && src + 1 < wordStore.size())
+            w |= wordStore[src + 1] << (bitsPerWord - shift);
+        out.wordStore[dst] = w;
+    }
+    out.trimTopWord();
+    return out;
+}
+
+void
+BitVector::setSlice(size_t pos, const BitVector &src)
+{
+    assert(pos + src.numBits <= numBits);
+    for (size_t i = 0; i < src.numBits; ++i)
+        set(pos + i, src.get(i));
+}
+
+void
+BitVector::append(const BitVector &other)
+{
+    const size_t old = numBits;
+    numBits += other.numBits;
+    wordStore.resize((numBits + bitsPerWord - 1) / bitsPerWord, 0);
+    for (size_t i = 0; i < other.numBits; ++i)
+        set(old + i, other.get(i));
+}
+
+void
+BitVector::pushBack(bool bit)
+{
+    ++numBits;
+    wordStore.resize((numBits + bitsPerWord - 1) / bitsPerWord, 0);
+    set(numBits - 1, bit);
+}
+
+uint64_t
+BitVector::toUint64(size_t pos, size_t len) const
+{
+    assert(pos <= numBits);
+    len = std::min(len, numBits - pos);
+    assert(len <= 64);
+    uint64_t out = 0;
+    for (size_t i = 0; i < len; ++i)
+        out |= uint64_t(get(pos + i)) << i;
+    return out;
+}
+
+bool
+BitVector::parity() const
+{
+    uint64_t acc = 0;
+    for (uint64_t w : wordStore)
+        acc ^= w;
+    return std::popcount(acc) & 1;
+}
+
+std::string
+BitVector::toString() const
+{
+    std::string out;
+    out.reserve(numBits);
+    for (size_t i = 0; i < numBits; ++i)
+        out.push_back(get(i) ? '1' : '0');
+    return out;
+}
+
+} // namespace tdc

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Dynamically sized bit vector used throughout the coding, array and
+ * cache substrates.
+ *
+ * std::vector<bool> is avoided on purpose: the codecs need word-level
+ * access (XOR of whole vectors, popcount, burst extraction) that a
+ * packed uint64_t representation provides directly.
+ */
+
+#ifndef TDC_COMMON_BIT_VECTOR_HH
+#define TDC_COMMON_BIT_VECTOR_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tdc
+{
+
+/**
+ * A fixed-length sequence of bits packed into 64-bit words.
+ *
+ * Bit 0 is the least-significant bit of word 0. All binary operators
+ * require operands of identical length; this is asserted, not resized,
+ * because a silent length mismatch in a codec is always a bug.
+ */
+class BitVector
+{
+  public:
+    /** Construct an empty (zero-length) vector. */
+    BitVector() = default;
+
+    /** Construct a vector of @p nbits bits, all cleared. */
+    explicit BitVector(size_t nbits);
+
+    /**
+     * Construct from the low @p nbits of an integer value.
+     * Bits above 64 (if nbits > 64) are cleared.
+     */
+    BitVector(size_t nbits, uint64_t value);
+
+    /** Number of bits in the vector. */
+    size_t size() const { return numBits; }
+
+    /** True iff the vector has zero length. */
+    bool empty() const { return numBits == 0; }
+
+    /** Read the bit at @p pos. */
+    bool get(size_t pos) const;
+
+    /** Set the bit at @p pos to @p value. */
+    void set(size_t pos, bool value);
+
+    /** Invert the bit at @p pos. */
+    void flip(size_t pos);
+
+    /** Clear all bits. */
+    void clear();
+
+    /** True iff no bit is set. */
+    bool none() const;
+
+    /** True iff at least one bit is set. */
+    bool any() const { return !none(); }
+
+    /** Number of set bits. */
+    size_t popcount() const;
+
+    /** Position of the lowest set bit, or size() if none. */
+    size_t findFirst() const;
+
+    /** Position of the highest set bit, or size() if none. */
+    size_t findLast() const;
+
+    /** In-place XOR with @p other (same length required). */
+    BitVector &operator^=(const BitVector &other);
+
+    /** In-place AND with @p other (same length required). */
+    BitVector &operator&=(const BitVector &other);
+
+    /** In-place OR with @p other (same length required). */
+    BitVector &operator|=(const BitVector &other);
+
+    BitVector operator^(const BitVector &other) const;
+    BitVector operator&(const BitVector &other) const;
+    BitVector operator|(const BitVector &other) const;
+
+    bool operator==(const BitVector &other) const;
+    bool operator!=(const BitVector &other) const = default;
+
+    /**
+     * Extract @p len bits starting at @p pos into a new vector.
+     * @pre pos + len <= size()
+     */
+    BitVector slice(size_t pos, size_t len) const;
+
+    /**
+     * Overwrite @p src.size() bits starting at @p pos with @p src.
+     * @pre pos + src.size() <= size()
+     */
+    void setSlice(size_t pos, const BitVector &src);
+
+    /** Append all bits of @p other at the end (grows the vector). */
+    void append(const BitVector &other);
+
+    /** Append a single bit at the end (grows the vector). */
+    void pushBack(bool bit);
+
+    /**
+     * Return the low min(64, size()-pos) bits starting at @p pos as an
+     * integer (little-endian bit order).
+     */
+    uint64_t toUint64(size_t pos = 0, size_t len = 64) const;
+
+    /** Parity (XOR) of all bits. */
+    bool parity() const;
+
+    /** Render as a '0'/'1' string, bit 0 first. */
+    std::string toString() const;
+
+    /** Access to the packed word storage (read-only). */
+    const std::vector<uint64_t> &words() const { return wordStore; }
+
+  private:
+    /** Zero any stale bits above numBits in the top word. */
+    void trimTopWord();
+
+    static constexpr size_t bitsPerWord = 64;
+
+    size_t numBits = 0;
+    std::vector<uint64_t> wordStore;
+};
+
+} // namespace tdc
+
+#endif // TDC_COMMON_BIT_VECTOR_HH

@@ -1,0 +1,76 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+namespace tdc
+{
+
+void
+RunningStat::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        if (x < lo)
+            lo = x;
+        if (x > hi)
+            hi = x;
+    }
+    ++n;
+    total += x;
+    const double delta = x - mu;
+    mu += delta / double(n);
+    m2 += delta * (x - mu);
+}
+
+double
+RunningStat::variance() const
+{
+    return n > 1 ? m2 / double(n - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+StatGroup::inc(const std::string &name, uint64_t delta)
+{
+    auto it = index.find(name);
+    if (it == index.end()) {
+        index.emplace(name, ordered.size());
+        ordered.emplace_back(name, delta);
+    } else {
+        ordered[it->second].second += delta;
+    }
+}
+
+void
+StatGroup::set(const std::string &name, uint64_t value)
+{
+    auto it = index.find(name);
+    if (it == index.end()) {
+        index.emplace(name, ordered.size());
+        ordered.emplace_back(name, value);
+    } else {
+        ordered[it->second].second = value;
+    }
+}
+
+uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = index.find(name);
+    return it == index.end() ? 0 : ordered[it->second].second;
+}
+
+void
+StatGroup::clear()
+{
+    for (auto &e : ordered)
+        e.second = 0;
+}
+
+} // namespace tdc

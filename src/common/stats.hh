@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Small statistics helpers shared by the simulators and benches.
+ */
+
+#ifndef TDC_COMMON_STATS_HH
+#define TDC_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tdc
+{
+
+/**
+ * Streaming accumulator for mean / variance / extrema (Welford).
+ */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    size_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double sum() const { return total; }
+
+  private:
+    size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/**
+ * Named scalar counters, in insertion order, for simulator stat dumps.
+ */
+class StatGroup
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void inc(const std::string &name, uint64_t delta = 1);
+
+    /** Set counter @p name. */
+    void set(const std::string &name, uint64_t value);
+
+    /** Read counter @p name (0 if absent). */
+    uint64_t get(const std::string &name) const;
+
+    /** All counters in insertion order. */
+    const std::vector<std::pair<std::string, uint64_t>> &entries() const
+    {
+        return ordered;
+    }
+
+    /** Reset every counter to zero. */
+    void clear();
+
+  private:
+    std::map<std::string, size_t> index;
+    std::vector<std::pair<std::string, uint64_t>> ordered;
+};
+
+} // namespace tdc
+
+#endif // TDC_COMMON_STATS_HH

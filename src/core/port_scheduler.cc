@@ -1,0 +1,94 @@
+#include "core/port_scheduler.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+PortScheduler::PortScheduler(unsigned ports_, unsigned steal_window)
+    : ports(ports_), stealWindow(steal_window)
+{
+    assert(ports > 0);
+}
+
+void
+PortScheduler::advanceTo(uint64_t cycle)
+{
+    assert(cycle >= now);
+    if (cycle == now)
+        return;
+
+    // Account idle slots of every fully elapsed cycle for stealing.
+    // The horizon cycle may be partially used; cycles between now and
+    // the horizon are fully booked (horizon invariant).
+    for (uint64_t c = now; c < cycle; ++c) {
+        unsigned used = 0;
+        if (c < horizonCycle)
+            used = ports;
+        else if (c == horizonCycle)
+            used = horizonUsed;
+        const unsigned idle = ports - used;
+        if (stealWindow > 0) {
+            idleHistory.push_back(idle);
+            idleBank += idle;
+            while (idleHistory.size() > stealWindow) {
+                idleBank -= idleHistory.front();
+                idleHistory.pop_front();
+            }
+        }
+    }
+
+    now = cycle;
+    if (horizonCycle < now) {
+        horizonCycle = now;
+        horizonUsed = 0;
+    }
+}
+
+unsigned
+PortScheduler::issueDemand()
+{
+    ++demandCount;
+    if (horizonUsed >= ports) {
+        ++horizonCycle;
+        horizonUsed = 0;
+    }
+    ++horizonUsed;
+    const unsigned delay = unsigned(horizonCycle - now);
+    delaySum += delay;
+    return delay;
+}
+
+unsigned
+PortScheduler::issueStolenRead()
+{
+    if (stealWindow > 0 && idleBank > 0) {
+        // Absorbed into an idle slot observed within the window: the
+        // read issued early from the store queue and costs nothing
+        // now.
+        --idleBank;
+        assert(!idleHistory.empty());
+        // Consume the oldest recorded idle slot.
+        for (auto &slot : idleHistory) {
+            if (slot > 0) {
+                --slot;
+                break;
+            }
+        }
+        ++absorbedCount;
+        return 0;
+    }
+    ++chargedCount;
+    issueDemand();
+    --demandCount; // counted separately as a charged stolen read
+    return 1;
+}
+
+double
+PortScheduler::stealEfficiency() const
+{
+    const uint64_t total = absorbedCount + chargedCount;
+    return total == 0 ? 0.0 : double(absorbedCount) / double(total);
+}
+
+} // namespace tdc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cache-port occupancy model with the paper's port-stealing
+ * optimization for read-before-write operations (Section 4).
+ */
+
+#ifndef TDC_CORE_PORT_SCHEDULER_HH
+#define TDC_CORE_PORT_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+
+namespace tdc
+{
+
+/**
+ * Models the port occupancy of one cache (or one cache bank).
+ *
+ * Each cycle offers `ports` access slots. Demand accesses occupy a
+ * slot in FIFO order; if the current cycle is full the access spills
+ * into the next cycle (reported as delay). A 2D-protected cache turns
+ * every write into a read-before-write: the read half is an *extra*
+ * access. Without port stealing it is scheduled like any demand
+ * access (in front of the write). With port stealing, the scheduler
+ * first tries to absorb it into an idle slot observed during the past
+ * `stealWindow` cycles — the store-queue residency during which the
+ * read can issue early, after [27] — and only charges a slot when no
+ * idle slot was available.
+ */
+class PortScheduler
+{
+  public:
+    /**
+     * @param ports access slots per cycle
+     * @param steal_window how many past cycles of idle slots a stolen
+     *        read may use (0 disables port stealing)
+     */
+    PortScheduler(unsigned ports, unsigned steal_window);
+
+    /** Advance time to @p cycle (monotonic). */
+    void advanceTo(uint64_t cycle);
+
+    /**
+     * Issue a demand access (read, write, or fill) at the current
+     * cycle. Returns the queueing delay in cycles (0 = issued this
+     * cycle).
+     */
+    unsigned issueDemand();
+
+    /**
+     * Issue the read half of a read-before-write. Returns the number
+     * of *charged* port slots (0 if the read was absorbed by port
+     * stealing, 1 if it consumed a demand slot).
+     */
+    unsigned issueStolenRead();
+
+    uint64_t demandIssued() const { return demandCount; }
+    uint64_t stolenAbsorbed() const { return absorbedCount; }
+    uint64_t stolenCharged() const { return chargedCount; }
+    uint64_t totalDelay() const { return delaySum; }
+
+    /** Fraction of RBW reads hidden by stealing (0 if none issued). */
+    double stealEfficiency() const;
+
+  private:
+    /** Free slots at the horizon (cycle where the next access lands). */
+    void refreshHorizon();
+
+    unsigned ports;
+    unsigned stealWindow;
+    uint64_t now = 0;
+
+    /** Next cycle with a free slot >= now, and slots already used in it. */
+    uint64_t horizonCycle = 0;
+    unsigned horizonUsed = 0;
+
+    /** Idle slots accumulated over the last stealWindow cycles. */
+    std::deque<unsigned> idleHistory;
+    unsigned idleBank = 0;
+
+    uint64_t demandCount = 0;
+    uint64_t absorbedCount = 0;
+    uint64_t chargedCount = 0;
+    uint64_t delaySum = 0;
+};
+
+} // namespace tdc
+
+#endif // TDC_CORE_PORT_SCHEDULER_HH

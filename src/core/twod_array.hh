@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The paper's primary contribution: a memory array protected by
+ * two-dimensional error coding, with the multi-bit recovery process
+ * of Figure 4(b).
+ */
+
+#ifndef TDC_CORE_TWOD_ARRAY_HH
+#define TDC_CORE_TWOD_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "array/interleave.hh"
+#include "array/memory_array.hh"
+#include "array/protected_array.hh"
+#include "core/twod_config.hh"
+#include "core/vertical_parity.hh"
+#include "ecc/code.hh"
+#include "ecc/interleaved_parity.hh"
+
+namespace tdc
+{
+
+/** Outcome of a 2D recovery attempt (the BIST/BISR-style sweep). */
+struct RecoveryReport
+{
+    /** Whether the array was restored to a fully clean state. */
+    bool success = false;
+
+    /** Rows reconstructed via the vertical (row XOR) path. */
+    std::vector<size_t> rowsReconstructed;
+
+    /** Columns repaired via the column-location path. */
+    std::vector<size_t> columnsRepaired;
+
+    /**
+     * Number of array row reads the sweep issued. The paper likens
+     * recovery latency to a BIST march over the bank; cycles are
+     * proportional to this count.
+     */
+    uint64_t rowReads = 0;
+
+    /** Whether the column path had to run. */
+    bool usedColumnPath = false;
+};
+
+/** Aggregate statistics of a TwoDimArray instance. */
+struct TwoDimStats
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t readBeforeWrites = 0; ///< extra reads caused by writes
+    uint64_t inlineCorrections = 0; ///< horizontal (SECDED) fixes
+    uint64_t recoveries = 0;
+    uint64_t recoveryFailures = 0;
+};
+
+/**
+ * 2D-protected array. Horizontal dimension: per-word code (EDCn or
+ * SECDED) with physical bit interleaving, exactly as ProtectedArray.
+ * Vertical dimension: V interleaved parity rows, updated incrementally
+ * on every write via read-before-write.
+ *
+ * The guaranteed coverage (Section 3): any clustered error whose
+ * footprint spans at most clusterHeightCoverage() rows is correctable
+ * provided the horizontal code detects the per-word corruption (true
+ * for any footprint at most clusterWidthCoverage() columns wide, and
+ * for any single-bit-per-word corruption regardless of width). Errors
+ * taller than V rows are additionally correctable when the vertical
+ * syndrome can localize the faulty columns (tall-narrow bursts).
+ */
+class TwoDimArray
+{
+  public:
+    explicit TwoDimArray(const TwoDimConfig &config);
+
+    const TwoDimConfig &config() const { return cfg; }
+    size_t rows() const { return data.rows(); }
+    size_t wordsPerRow() const { return map.degree(); }
+    size_t dataBits() const { return horizontal->dataBits(); }
+
+    /** Raw cell arrays, for fault injection. */
+    MemoryArray &cells() { return data; }
+    VerticalParity &vertical() { return parity; }
+    const VerticalParity &vertical() const { return parity; }
+
+    /** Interleave geometry (physical column <-> word/bit mapping). */
+    const InterleaveMap &interleave() const { return map; }
+
+    /**
+     * Write @p value into word @p slot of row @p row. Performs the
+     * read-before-write and the incremental vertical parity update.
+     */
+    void writeWord(size_t row, size_t slot, const BitVector &value);
+
+    /**
+     * Read word @p slot of row @p row. Horizontal-clean reads return
+     * immediately (the error-free fast path). A horizontal correction
+     * (SECDED single-bit) is applied in line, *including* the vertical
+     * parity maintenance for the flipped bits. A horizontal detection
+     * triggers the full 2D recovery sweep and then retries once.
+     */
+    AccessResult readWord(size_t row, size_t slot);
+
+    /**
+     * Run the Figure 4(b) recovery process over the whole bank:
+     * reconstruct faulty rows from their vertical parity group; if a
+     * group holds multiple faulty rows, fall back to the column-
+     * location path. Clears transient faults it repairs; stuck-at
+     * cells will re-corrupt on the next write (as in hardware).
+     */
+    RecoveryReport recover();
+
+    /**
+     * Background scrub pass: decode every word, fixing what the
+     * horizontal code corrects and invoking recovery if needed.
+     * Returns true iff the bank ends clean.
+     */
+    bool scrub();
+
+    /** Verify every word decodes clean (no repair side effects). */
+    bool verifyClean() const;
+
+    /** Rebuild every vertical parity row from the data (BIST init). */
+    void rebuildParity();
+
+    /** Check all parity rows against the data (no repair). */
+    bool verifyParity() const;
+
+    /** Storage overhead of both dimensions combined. */
+    double storageOverhead() const;
+
+    const TwoDimStats &stats() const { return stat; }
+    void resetStats() { stat = TwoDimStats{}; }
+
+    /** Report of the most recent recovery (empty if none yet). */
+    const RecoveryReport &lastRecovery() const { return lastReport; }
+
+  private:
+    /** Decode every slot of @p row_bits; true iff all slots clean or
+     *  correctable. @p any_detect set if any slot is uncorrectable. */
+    bool rowHealthy(const BitVector &row_bits, bool &any_detect) const;
+
+    /** Row-path reconstruction of @p row from its parity group.
+     *  Returns false if another faulty row shares the group. */
+    bool reconstructRow(size_t row, RecoveryReport &report);
+
+    /** Column-location path for errors spanning more than V rows. */
+    bool recoverViaColumns(RecoveryReport &report);
+
+    /** Horizontal-correct a whole row in place (SECDED horizontal);
+     *  maintains vertical parity. Returns false if any slot is
+     *  uncorrectable. */
+    bool inlineCorrectRow(size_t row);
+
+    TwoDimConfig cfg;
+    CodePtr horizontal;
+    InterleaveMap map;
+    MemoryArray data;
+    VerticalParity parity;
+    TwoDimStats stat;
+    RecoveryReport lastReport;
+};
+
+} // namespace tdc
+
+#endif // TDC_CORE_TWOD_ARRAY_HH

@@ -1,0 +1,77 @@
+#include "core/twod_cache_store.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+TwoDimCacheStore::TwoDimCacheStore(const TwoDimConfig &bank_config,
+                                   size_t banks)
+{
+    assert(banks > 0);
+    bankArray.reserve(banks);
+    for (size_t b = 0; b < banks; ++b)
+        bankArray.push_back(std::make_unique<TwoDimArray>(bank_config));
+}
+
+size_t
+TwoDimCacheStore::wordsPerBank() const
+{
+    return bankArray[0]->rows() * bankArray[0]->wordsPerRow();
+}
+
+size_t
+TwoDimCacheStore::dataBits() const
+{
+    return bankArray[0]->dataBits();
+}
+
+std::pair<size_t, size_t>
+TwoDimCacheStore::locate(size_t word) const
+{
+    assert(word < totalWords());
+    const size_t local = word / banks();
+    const size_t slots = bankArray[0]->wordsPerRow();
+    return {local / slots, local % slots};
+}
+
+void
+TwoDimCacheStore::writeWord(size_t word, const BitVector &value)
+{
+    auto [row, slot] = locate(word);
+    bankArray[bankOf(word)]->writeWord(row, slot, value);
+}
+
+AccessResult
+TwoDimCacheStore::readWord(size_t word)
+{
+    auto [row, slot] = locate(word);
+    return bankArray[bankOf(word)]->readWord(row, slot);
+}
+
+bool
+TwoDimCacheStore::scrubAll()
+{
+    bool ok = true;
+    for (auto &bank : bankArray)
+        ok &= bank->scrub();
+    return ok;
+}
+
+TwoDimStats
+TwoDimCacheStore::aggregateStats() const
+{
+    TwoDimStats total;
+    for (const auto &bank : bankArray) {
+        const TwoDimStats &s = bank->stats();
+        total.reads += s.reads;
+        total.writes += s.writes;
+        total.readBeforeWrites += s.readBeforeWrites;
+        total.inlineCorrections += s.inlineCorrections;
+        total.recoveries += s.recoveries;
+        total.recoveryFailures += s.recoveryFailures;
+    }
+    return total;
+}
+
+} // namespace tdc

@@ -1,0 +1,34 @@
+#include "core/vertical_parity.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+VerticalParity::VerticalParity(size_t data_rows, size_t row_bits,
+                               size_t groups)
+    : coveredRows(data_rows), parity(groups, row_bits)
+{
+    assert(groups > 0);
+    assert(data_rows >= groups);
+}
+
+void
+VerticalParity::applyDelta(size_t r, const BitVector &delta)
+{
+    assert(delta.size() == rowBits());
+    const size_t g = groupOf(r);
+    BitVector row = parity.readRow(g);
+    row ^= delta;
+    parity.writeRow(g, row);
+    ++updates;
+}
+
+void
+VerticalParity::writeGroup(size_t g, const BitVector &value)
+{
+    assert(g < groups());
+    parity.writeRow(g, value);
+}
+
+} // namespace tdc

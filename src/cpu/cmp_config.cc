@@ -1,0 +1,75 @@
+#include "cpu/cmp_config.hh"
+
+namespace tdc
+{
+
+CmpConfig
+CmpConfig::fat()
+{
+    CmpConfig c;
+    c.name = "fat";
+    c.cores = 4;
+    c.issueWidth = 4;
+    c.outOfOrder = true;
+    c.threadsPerCore = 1;
+    c.robSize = 64;
+    c.storeQueue = 64;
+    c.l1Ports = 2;
+    c.l1HitLatency = 2;
+    c.l2Banks = 4;
+    c.l2HitLatency = 16;
+    c.l2BankBusy = 4;
+    c.loadUseSlots = 3;
+    c.bubbleScale = 1.0;
+    c.stealWindow = 1;
+    c.memLatency = 240;
+    c.mshrs = 16;
+    return c;
+}
+
+CmpConfig
+CmpConfig::lean()
+{
+    CmpConfig c;
+    c.name = "lean";
+    c.cores = 8;
+    c.issueWidth = 2;
+    c.outOfOrder = false;
+    c.threadsPerCore = 4;
+    c.robSize = 8; // in-order: tiny in-flight window
+    c.storeQueue = 64;
+    c.l1Ports = 1;
+    c.l1HitLatency = 2;
+    c.l2Banks = 4;
+    c.l2HitLatency = 12;
+    c.l2BankBusy = 5; // 16-way tag + data beats
+    c.loadUseSlots = 2;
+    c.bubbleScale = 4.0; // no reordering to hide dependency stalls
+    c.stealWindow = 4;
+    c.memLatency = 240;
+    c.mshrs = 16;
+    return c;
+}
+
+std::string
+ProtectionConfig::label() const
+{
+    if (l1WriteThrough)
+        return l2TwoDim ? "WT-L1 + 2D-L2" : "WT-L1";
+    if (!l1TwoDim && !l2TwoDim)
+        return "baseline";
+    std::string out;
+    if (l1TwoDim) {
+        out += "L1";
+        if (l1PortStealing)
+            out += "+steal";
+    }
+    if (l2TwoDim) {
+        if (!out.empty())
+            out += " ";
+        out += "L2";
+    }
+    return out;
+}
+
+} // namespace tdc

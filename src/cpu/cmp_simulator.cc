@@ -1,0 +1,389 @@
+#include "cpu/cmp_simulator.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tdc
+{
+
+namespace
+{
+
+/**
+ * Store-queue drain policy: writes coalesce and drain in batches (a
+ * write buffer drains when it fills or when the oldest entry times
+ * out). Batching is what makes the read-before-write reads cluster —
+ * and why port stealing cannot hide all of them.
+ */
+constexpr unsigned kDrainBatch = 4;
+constexpr unsigned kDrainTimeout = 16;
+
+} // namespace
+
+CmpSimulator::CmpSimulator(const CmpConfig &machine_,
+                           const WorkloadProfile &workload_,
+                           const ProtectionConfig &protection_,
+                           uint64_t seed)
+    : machine(machine_), workload(workload_), protection(protection_)
+{
+    cores.resize(machine.cores);
+    uint64_t stream_seed = seed * 7919;
+    for (unsigned c = 0; c < machine.cores; ++c) {
+        CoreState &core = cores[c];
+        core.selfIndex = c;
+        core.threads.resize(machine.threadsPerCore);
+        for (ThreadState &t : core.threads) {
+            t.stream = std::make_unique<InstructionStream>(workload,
+                                                           ++stream_seed);
+        }
+        const unsigned window =
+            protection.l1PortStealing ? machine.stealWindow : 0;
+        core.l1Ports =
+            std::make_unique<PortScheduler>(machine.l1Ports, window);
+    }
+    for (unsigned b = 0; b < machine.l2Banks; ++b)
+        l2Banks.push_back(std::make_unique<PortScheduler>(1, 0));
+}
+
+unsigned
+CmpSimulator::accessL2(unsigned bank, bool is_write)
+{
+    assert(bank < l2Banks.size());
+    PortScheduler &sched = *l2Banks[bank];
+    sched.advanceTo(now);
+
+    unsigned delay = 0;
+    if (is_write && protection.l2TwoDim) {
+        // Read-before-write in the L2 bank: the old line is read to
+        // update the vertical parity before the write lands.
+        for (unsigned i = 0; i < machine.l2BankBusy; ++i)
+            delay = sched.issueDemand();
+        ++result.l2ExtraReads;
+    }
+    for (unsigned i = 0; i < machine.l2BankBusy; ++i)
+        delay = sched.issueDemand();
+    return delay;
+}
+
+unsigned
+CmpSimulator::missLatency(const SyntheticInstr &instr,
+                          unsigned bank_delay) const
+{
+    unsigned latency = machine.l1HitLatency + machine.l2HitLatency +
+                       bank_delay;
+    if (instr.l2Miss)
+        latency += machine.memLatency;
+    return latency;
+}
+
+unsigned
+CmpSimulator::outstandingMisses(const CoreState &core)
+{
+    unsigned count = 0;
+    for (const Pending &p : core.pending)
+        count += p.fillsL1;
+    return count;
+}
+
+unsigned
+CmpSimulator::serviceMiss(CoreState &core, const SyntheticInstr &instr,
+                          unsigned bank)
+{
+    if (instr.dirtyShared && machine.cores > 1) {
+        // L1-to-L1 transfer of dirty data: the peer's L1 sources the
+        // line over the crossbar instead of the L2. The peer pays one
+        // port access for the source read.
+        CoreState &peer =
+            cores[(core.selfIndex + 1 + instr.bankHash % (machine.cores -
+                                                          1)) %
+                  machine.cores];
+        peer.l1Ports->advanceTo(now);
+        peer.l1Ports->issueDemand();
+        ++result.l1DirtyTransfers;
+        return machine.l1HitLatency + machine.l2HitLatency;
+    }
+
+    const unsigned bank_delay = accessL2(bank, false);
+    ++result.l2ReadsData;
+    if (instr.l2Miss) {
+        // The memory refill writes the line into the L2 (another
+        // write the 2D L2 must read-before-write).
+        accessL2(bank, true);
+        ++result.l2FillEvict;
+    }
+    return missLatency(instr, bank_delay);
+}
+
+void
+CmpSimulator::completePending(CoreState &core)
+{
+    for (size_t i = 0; i < core.pending.size();) {
+        Pending &p = core.pending[i];
+        if (p.doneCycle > now) {
+            ++i;
+            continue;
+        }
+        if (p.fillsL1) {
+            // The refill writes the L1 array; under 2D coding the
+            // fill is a write and therefore a read-before-write.
+            core.l1Ports->advanceTo(now);
+            if (protection.l1TwoDim) {
+                if (protection.l1PortStealing)
+                    core.l1Ports->issueStolenRead();
+                else
+                    core.l1Ports->issueDemand();
+                ++result.l1ExtraReads;
+            }
+            core.l1Ports->issueDemand();
+            ++result.l1FillEvict;
+            if (p.dirtyEvict) {
+                // Dirty victim: write-back into the L2 bank.
+                accessL2(p.bank, true);
+                ++result.l2Writes;
+            }
+        }
+        if (p.isIfetch && core.threads[p.thread].blockedUntil <= now)
+            core.threads[p.thread].blockedUntil = now;
+        core.pending[i] = core.pending.back();
+        core.pending.pop_back();
+    }
+}
+
+void
+CmpSimulator::drainStoreQueue(CoreState &core)
+{
+    // Writes coalesce; the buffer drains a batch when it fills or the
+    // oldest entry times out. Clustered drains mean the 2D
+    // read-before-write reads arrive in clusters too, which is why
+    // port stealing cannot absorb every one of them.
+    const bool full_batch = core.storeQueueOcc >= kDrainBatch;
+    const bool timed_out = core.storeQueueOcc > 0 &&
+                           now - core.lastDrain >= kDrainTimeout;
+    if (!full_batch && !timed_out)
+        return;
+    core.lastDrain = now;
+    const unsigned n = std::min<unsigned>(kDrainBatch,
+                                          core.storeQueueOcc);
+    for (unsigned d = 0; d < n; ++d) {
+        if (protection.l1TwoDim) {
+            if (protection.l1PortStealing)
+                core.l1Ports->issueStolenRead();
+            else
+                core.l1Ports->issueDemand();
+            ++result.l1ExtraReads;
+        }
+        core.l1Ports->issueDemand();
+        ++result.l1Writes;
+        --core.storeQueueOcc;
+        if (protection.l1WriteThrough) {
+            // Duplicate the store into the next level: the L2 write
+            // that makes the write-through alternative expensive,
+            // especially with a shared L2 (Section 2.1).
+            const unsigned bank =
+                unsigned((now * 2654435761u + d) % machine.l2Banks);
+            accessL2(bank, true);
+            ++result.l2Writes;
+        }
+    }
+}
+
+void
+CmpSimulator::stepOutOfOrderCore(CoreState &core)
+{
+    core.l1Ports->advanceTo(now);
+    completePending(core);
+    drainStoreQueue(core);
+
+    if (now < core.fetchStallUntil)
+        return; // waiting on an instruction refill
+
+    ThreadState &thread = core.threads[0];
+    bool sq_stall = false;
+    for (unsigned slot = 0; slot < machine.issueWidth; ++slot) {
+        if (core.pending.size() >= machine.robSize)
+            break; // in-flight window full: stall
+
+        // ILP bubbles (dependency stalls attached to the previous
+        // instruction) consume issue slots without committing work.
+        if (thread.bubbleDebt > 0) {
+            --thread.bubbleDebt;
+            continue;
+        }
+
+        const SyntheticInstr instr = thread.stream->next();
+        thread.bubbleDebt = instr.bubbles;
+
+        if (instr.ifetchMiss) {
+            const unsigned bank = instr.bankHash % machine.l2Banks;
+            const unsigned delay = accessL2(bank, false);
+            ++result.l2ReadsInst;
+            core.fetchStallUntil =
+                now + machine.l2HitLatency + delay +
+                (instr.l2Miss ? machine.memLatency : 0);
+        }
+
+        switch (instr.kind) {
+          case SyntheticInstr::Kind::kNonMem:
+            break;
+          case SyntheticInstr::Kind::kLoad: {
+            const unsigned port_delay = core.l1Ports->issueDemand();
+            ++result.l1ReadsData;
+            // Port contention lengthens the load-to-use path; even an
+            // OoO core loses some issue slots to dependents waiting.
+            thread.bubbleDebt += port_delay * machine.loadUseSlots;
+            Pending p;
+            p.thread = 0;
+            if (instr.l1dMiss) {
+                const unsigned bank = instr.bankHash % machine.l2Banks;
+                p.doneCycle =
+                    now + port_delay + serviceMiss(core, instr, bank);
+                p.fillsL1 = true;
+                p.dirtyEvict = instr.dirtyEvict;
+                p.bank = bank;
+            } else {
+                p.doneCycle = now + port_delay + machine.l1HitLatency;
+            }
+            core.pending.push_back(p);
+            // A full MSHR file is a structural hazard: no further
+            // issue this cycle.
+            if (instr.l1dMiss &&
+                outstandingMisses(core) >= machine.mshrs) {
+                sq_stall = true;
+            }
+            break;
+          }
+          case SyntheticInstr::Kind::kStore:
+            if (core.storeQueueOcc >= machine.storeQueue) {
+                // Store queue full: the store cannot issue; the core
+                // stalls for the rest of this cycle.
+                sq_stall = true;
+                break;
+            }
+            ++core.storeQueueOcc;
+            break;
+        }
+        if (sq_stall)
+            break;
+        ++result.instructions;
+
+        if (instr.ifetchMiss)
+            break; // fetch redirects; later slots are bubbles
+    }
+}
+
+void
+CmpSimulator::stepInOrderCore(CoreState &core)
+{
+    core.l1Ports->advanceTo(now);
+    completePending(core);
+    drainStoreQueue(core);
+
+    // Fine-grain multithreading: each issue slot goes to the next
+    // ready thread (round-robin).
+    const unsigned nthreads = unsigned(core.threads.size());
+    for (unsigned slot = 0; slot < machine.issueWidth; ++slot) {
+        ThreadState *picked = nullptr;
+        for (unsigned k = 0; k < nthreads; ++k) {
+            ThreadState &cand =
+                core.threads[(core.nextThread + k) % nthreads];
+            if (cand.blockedUntil <= now) {
+                picked = &cand;
+                core.nextThread = (core.nextThread + k + 1) % nthreads;
+                break;
+            }
+        }
+        if (picked == nullptr)
+            break; // every thread is blocked
+
+        const SyntheticInstr instr = picked->stream->next();
+        const unsigned thread_id =
+            unsigned(picked - core.threads.data());
+
+        // Dependency bubbles stall this thread; the other hardware
+        // threads keep the issue slots busy (fine-grain SMT latency
+        // hiding).
+        if (instr.bubbles > 0) {
+            const double scaled =
+                double(instr.bubbles) * machine.bubbleScale;
+            const uint64_t stall = uint64_t(
+                (scaled + machine.issueWidth - 1) / machine.issueWidth);
+            picked->blockedUntil =
+                std::max(picked->blockedUntil, now + stall);
+        }
+
+        if (instr.ifetchMiss) {
+            const unsigned bank = instr.bankHash % machine.l2Banks;
+            const unsigned delay = accessL2(bank, false);
+            ++result.l2ReadsInst;
+            picked->blockedUntil =
+                now + machine.l2HitLatency + delay +
+                (instr.l2Miss ? machine.memLatency : 0);
+        }
+
+        switch (instr.kind) {
+          case SyntheticInstr::Kind::kNonMem:
+            break;
+          case SyntheticInstr::Kind::kLoad: {
+            const unsigned port_delay = core.l1Ports->issueDemand();
+            ++result.l1ReadsData;
+            if (instr.l1dMiss) {
+                // A full MSHR file is a structural hazard: the thread
+                // stalls and the load replays once an MSHR frees up
+                // (the instruction is not committed now).
+                if (outstandingMisses(core) >= machine.mshrs) {
+                    picked->blockedUntil = now + 2;
+                    continue;
+                }
+                const unsigned bank = instr.bankHash % machine.l2Banks;
+                const uint64_t done =
+                    now + port_delay + serviceMiss(core, instr, bank);
+                // In-order: the thread blocks until the load returns.
+                picked->blockedUntil =
+                    std::max(picked->blockedUntil, done);
+                Pending p;
+                p.doneCycle = done;
+                p.fillsL1 = true;
+                p.dirtyEvict = instr.dirtyEvict;
+                p.bank = bank;
+                p.thread = thread_id;
+                core.pending.push_back(p);
+            } else {
+                // In-order blocking load: the thread waits for the L1
+                // hit (plus any port-contention delay); the other
+                // hardware threads hide the gap.
+                picked->blockedUntil = std::max(
+                    picked->blockedUntil,
+                    now + port_delay + machine.l1HitLatency);
+            }
+            break;
+          }
+          case SyntheticInstr::Kind::kStore:
+            if (core.storeQueueOcc >= machine.storeQueue) {
+                // Retry next cycle.
+                picked->blockedUntil = now + 1;
+                continue;
+            }
+            ++core.storeQueueOcc;
+            break;
+        }
+        ++result.instructions;
+    }
+}
+
+CmpSimResult
+CmpSimulator::run(uint64_t cycles)
+{
+    const uint64_t end = now + cycles;
+    for (; now < end; ++now) {
+        for (CoreState &core : cores) {
+            if (machine.outOfOrder)
+                stepOutOfOrderCore(core);
+            else
+                stepInOrderCore(core);
+        }
+    }
+    result.cycles += cycles;
+    return result;
+}
+
+} // namespace tdc

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Cycle-level CMP cache-hierarchy timing simulator.
+ *
+ * This is the repository's stand-in for the FLEXUS full-system
+ * simulation of Section 5: synthetic per-core instruction streams
+ * (workload module) drive out-of-order or in-order-SMT core front
+ * ends against per-core L1 D-cache ports and a shared banked L2. The
+ * 2D-protection hooks charge the read-before-write traffic exactly
+ * where the paper does: store drains, fills, and L2 write-backs, with
+ * optional port stealing for the L1 read halves.
+ */
+
+#ifndef TDC_CPU_CMP_SIMULATOR_HH
+#define TDC_CPU_CMP_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/port_scheduler.hh"
+#include "cpu/cmp_config.hh"
+#include "workload/instruction_stream.hh"
+#include "workload/workload_profile.hh"
+
+namespace tdc
+{
+
+/** Result of one simulation run. */
+struct CmpSimResult
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+
+    /** Aggregate user instructions committed per cycle. */
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0 : double(instructions) / double(cycles);
+    }
+
+    /**
+     * Access counters for the Figure 6 breakdown. L1 counters are
+     * summed over all cores.
+     */
+    uint64_t l1ReadsData = 0;
+    uint64_t l1Writes = 0;       ///< store drains into the L1 array
+    uint64_t l1FillEvict = 0;    ///< refills (and the evictions they cause)
+    uint64_t l1ExtraReads = 0;   ///< 2D read-before-write reads
+    uint64_t l1DirtyTransfers = 0; ///< L1-to-L1 dirty data transfers
+    uint64_t l2ReadsInst = 0;    ///< instruction-side refills
+    uint64_t l2ReadsData = 0;    ///< data-side refills
+    uint64_t l2Writes = 0;       ///< write-backs from L1 (+ WT stores)
+    uint64_t l2FillEvict = 0;    ///< memory refills into L2
+    uint64_t l2ExtraReads = 0;   ///< 2D read-before-write reads in L2
+
+    /** Accesses per 100 cycles helpers. */
+    double per100(uint64_t count) const
+    {
+        return cycles == 0 ? 0.0
+                           : 100.0 * double(count) / double(cycles);
+    }
+};
+
+/**
+ * The simulator. One instance simulates one (machine, workload,
+ * protection) combination. Pair baseline and protected runs on the
+ * same seed for matched-pair IPC comparison.
+ */
+class CmpSimulator
+{
+  public:
+    CmpSimulator(const CmpConfig &machine, const WorkloadProfile &workload,
+                 const ProtectionConfig &protection, uint64_t seed = 1);
+
+    /** Run for @p cycles cycles and return the aggregate result. */
+    CmpSimResult run(uint64_t cycles);
+
+  private:
+    /** One pending load (or ifetch miss) completion. */
+    struct Pending
+    {
+        uint64_t doneCycle = 0;
+        bool isIfetch = false;
+        bool fillsL1 = false;     ///< refill writes the L1 array
+        bool dirtyEvict = false;  ///< refill evicts a dirty line
+        unsigned bank = 0;        ///< L2 bank (for fills / write-backs)
+        unsigned thread = 0;      ///< issuing hardware thread
+    };
+
+    /** Per-hardware-thread state (one per thread per core). */
+    struct ThreadState
+    {
+        std::unique_ptr<InstructionStream> stream;
+        uint64_t blockedUntil = 0; ///< in-order: waiting on a load/ifetch
+        unsigned bubbleDebt = 0;   ///< pending ILP bubbles
+    };
+
+    /** Per-core state. */
+    struct CoreState
+    {
+        unsigned selfIndex = 0;
+        std::vector<ThreadState> threads;
+        unsigned nextThread = 0; ///< SMT round-robin pointer
+        std::unique_ptr<PortScheduler> l1Ports;
+        std::vector<Pending> pending; ///< outstanding loads (OoO window)
+        unsigned storeQueueOcc = 0;
+        uint64_t lastDrain = 0;       ///< cycle of the last SQ drain
+        uint64_t fetchStallUntil = 0; ///< OoO ifetch-miss stall
+    };
+
+    /** Outstanding L1 misses of a core (MSHR occupancy). */
+    static unsigned outstandingMisses(const CoreState &core);
+
+    /**
+     * Service an L1 miss: either an L1-to-L1 dirty transfer from a
+     * peer core or an L2 (and possibly memory) access. Returns the
+     * total fill latency beyond the L1 port delay.
+     */
+    unsigned serviceMiss(CoreState &core, const SyntheticInstr &instr,
+                         unsigned bank);
+
+    /** Charge an L2 bank access; returns its queueing delay. */
+    unsigned accessL2(unsigned bank, bool is_write);
+
+    /** Batch-drain the store queue through the L1 ports. */
+    void drainStoreQueue(CoreState &core);
+
+    /** Handle completion-side work (fills, evictions) for one core. */
+    void completePending(CoreState &core);
+
+    /** Issue-side logic for an out-of-order core. */
+    void stepOutOfOrderCore(CoreState &core);
+
+    /** Issue-side logic for an in-order SMT core. */
+    void stepInOrderCore(CoreState &core);
+
+    /** Latency of a data access beyond the L1 (L2 / memory). */
+    unsigned missLatency(const SyntheticInstr &instr, unsigned bank_delay)
+        const;
+
+    CmpConfig machine;
+    WorkloadProfile workload;
+    ProtectionConfig protection;
+
+    std::vector<CoreState> cores;
+    std::vector<std::unique_ptr<PortScheduler>> l2Banks;
+
+    uint64_t now = 0;
+    CmpSimResult result;
+};
+
+} // namespace tdc
+
+#endif // TDC_CPU_CMP_SIMULATOR_HH

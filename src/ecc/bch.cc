@@ -1,0 +1,317 @@
+#include "ecc/bch.hh"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace tdc
+{
+
+namespace
+{
+
+/**
+ * Build the generator polynomial of the t-error-correcting primitive
+ * BCH code over @p field: the LCM of the minimal polynomials of
+ * alpha^1 .. alpha^2t. Returned over GF(2), bit i = coeff of x^i.
+ */
+std::vector<bool>
+buildGenerator(const GF2m &field, size_t t)
+{
+    // Collect the distinct cyclotomic cosets {i, 2i, 4i, ...} of the
+    // exponents 1..2t mod (2^m - 1).
+    std::set<uint32_t> covered;
+    GFPoly gen({1});
+    for (uint32_t i = 1; i <= 2 * t; ++i) {
+        const uint32_t rep = i % field.order();
+        if (covered.count(rep))
+            continue;
+        // Minimal polynomial of alpha^rep: product of (x + alpha^j)
+        // over the coset of rep.
+        GFPoly minimal({1});
+        uint32_t j = rep;
+        do {
+            covered.insert(j);
+            minimal = GFPoly::mul(field,
+                                  minimal,
+                                  GFPoly({field.alphaPow(j), 1}));
+            j = uint32_t((uint64_t(j) * 2) % field.order());
+        } while (j != rep);
+        gen = GFPoly::mul(field, gen, minimal);
+    }
+
+    std::vector<bool> out(gen.degree() + 1);
+    for (size_t i = 0; i <= gen.degree(); ++i) {
+        const uint32_t c = gen.coeff(i);
+        assert((c == 0 || c == 1) && "generator must be binary");
+        out[i] = c == 1;
+    }
+    assert(out.back());
+    return out;
+}
+
+} // namespace
+
+BchCode::BchCode(size_t data_bits, size_t t)
+    : k(data_bits), tCap(t)
+{
+    assert(k > 0 && t > 0);
+    // Pick the smallest field degree whose primitive length fits the
+    // shortened code.
+    for (unsigned m = 4; m <= 12; ++m) {
+        auto candidate = std::make_shared<GF2m>(m);
+        if (2 * t >= candidate->order())
+            continue;
+        std::vector<bool> g = buildGenerator(*candidate, t);
+        const size_t deg = g.size() - 1;
+        if (k + deg <= candidate->order()) {
+            field = std::move(candidate);
+            gen = std::move(g);
+            r = deg;
+            break;
+        }
+    }
+    assert(field && "no supported field fits this (k, t)");
+
+    // Cache the fan-in of each systematic check equation: the column
+    // of data bit j is x^(r+j) mod g(x); row i's weight counts the
+    // data bits whose column has coefficient i set.
+    rowWeights.assign(r, 0);
+    for (size_t j = 0; j < k; ++j) {
+        BitVector unit(k);
+        unit.set(j, true);
+        const BitVector col = polyRemainder(unit);
+        for (size_t i = 0; i < r; ++i)
+            if (col.get(i))
+                ++rowWeights[i];
+    }
+}
+
+BitVector
+BchCode::polyRemainder(const BitVector &data) const
+{
+    assert(data.size() == k);
+    // LFSR division of x^r * d(x) by g(x), data coefficient k-1 first.
+    BitVector rem(r);
+    for (size_t j = k; j-- > 0;) {
+        const bool feedback = rem.get(r - 1) ^ data.get(j);
+        for (size_t i = r - 1; i > 0; --i)
+            rem.set(i, rem.get(i - 1) ^ (feedback && gen[i]));
+        rem.set(0, feedback && gen[0]);
+    }
+    return rem;
+}
+
+BitVector
+BchCode::computeCheck(const BitVector &data) const
+{
+    return polyRemainder(data);
+}
+
+std::vector<uint32_t>
+BchCode::syndromes(const BitVector &codeword) const
+{
+    // Coefficient position of codeword bit b: check bits occupy
+    // coefficients 0..r-1, data bits r..r+k-1.
+    std::vector<uint32_t> synd(2 * tCap, 0);
+    for (size_t b = 0; b < k + r; ++b) {
+        if (!codeword.get(b))
+            continue;
+        const size_t p = b < k ? r + b : b - k;
+        for (size_t j = 0; j < 2 * tCap; ++j)
+            synd[j] ^= field->alphaPow(int64_t(j + 1) * int64_t(p));
+    }
+    return synd;
+}
+
+GFPoly
+BchCode::berlekampMassey(const std::vector<uint32_t> &synd) const
+{
+    // Standard Berlekamp-Massey over GF(2^m).
+    GFPoly locator({1}); // C(x)
+    GFPoly prev({1});    // B(x)
+    size_t lfsrLen = 0;  // L
+    size_t gap = 1;      // x^gap multiplier for B
+    uint32_t prevDisc = 1;
+
+    for (size_t n = 0; n < synd.size(); ++n) {
+        uint32_t disc = synd[n];
+        for (size_t i = 1; i <= lfsrLen; ++i)
+            disc ^= field->mul(locator.coeff(i), synd[n - i]);
+
+        if (disc == 0) {
+            ++gap;
+            continue;
+        }
+
+        // C' = C - (disc/prevDisc) * x^gap * B  (minus == plus here).
+        GFPoly shifted;
+        const uint32_t scale = field->div(disc, prevDisc);
+        for (size_t i = 0; i <= prev.degree(); ++i) {
+            if (prev.coeff(i) != 0) {
+                shifted.setCoeff(i + gap,
+                                 field->mul(scale, prev.coeff(i)));
+            }
+        }
+        GFPoly updated = GFPoly::add(locator, shifted);
+
+        if (2 * lfsrLen <= n) {
+            prev = locator;
+            prevDisc = disc;
+            lfsrLen = n + 1 - lfsrLen;
+            gap = 1;
+        } else {
+            ++gap;
+        }
+        locator = updated;
+    }
+    return locator;
+}
+
+bool
+BchCode::chienSearch(const GFPoly &locator,
+                     std::vector<size_t> &positions) const
+{
+    const size_t degL = locator.degree();
+    if (degL == 0)
+        return true; // no errors located
+    if (degL > tCap)
+        return false;
+
+    // Roots of the locator are alpha^(-p) for error position p. Scan
+    // the full primitive length; roots beyond the shortened length
+    // mean the error pattern is inconsistent with this code.
+    positions.clear();
+    for (uint32_t p = 0; p < field->order(); ++p) {
+        if (locator.eval(*field, field->alphaPow(-int64_t(p))) == 0)
+            positions.push_back(p);
+    }
+    if (positions.size() != degL)
+        return false; // locator does not split: > t errors
+    for (size_t p : positions) {
+        if (p >= k + r)
+            return false; // error "in" the shortened region
+    }
+    return true;
+}
+
+DecodeResult
+BchCode::decode(const BitVector &codeword) const
+{
+    assert(codeword.size() == k + r);
+    DecodeResult result;
+    result.data = codeword.slice(0, k);
+
+    const std::vector<uint32_t> synd = syndromes(codeword);
+    bool all_zero = true;
+    for (uint32_t s : synd) {
+        if (s != 0) {
+            all_zero = false;
+            break;
+        }
+    }
+    if (all_zero) {
+        result.status = DecodeStatus::kClean;
+        return result;
+    }
+
+    const GFPoly locator = berlekampMassey(synd);
+    std::vector<size_t> positions;
+    if (!chienSearch(locator, positions) || positions.empty()) {
+        result.status = DecodeStatus::kDetectedUncorrectable;
+        return result;
+    }
+
+    for (size_t p : positions) {
+        // Coefficient position -> codeword bit index.
+        const size_t bit = p < r ? k + p : p - r;
+        if (bit < k)
+            result.data.flip(bit);
+        result.correctedPositions.push_back(bit);
+    }
+    result.status = DecodeStatus::kCorrected;
+    return result;
+}
+
+size_t
+BchCode::maxRowWeight() const
+{
+    size_t best = 0;
+    for (size_t w : rowWeights)
+        best = std::max(best, w);
+    return best + 1; // + the stored check bit folded into the syndrome
+}
+
+size_t
+BchCode::totalRowWeight() const
+{
+    size_t total = r; // stored check bits
+    for (size_t w : rowWeights)
+        total += w;
+    return total;
+}
+
+std::string
+BchCode::name() const
+{
+    return "(" + std::to_string(k + r) + "," + std::to_string(k) + ") BCH t=" +
+           std::to_string(tCap);
+}
+
+ExtendedBchCode::ExtendedBchCode(size_t data_bits, size_t t,
+                                 std::string display_name)
+    : inner(data_bits, t), displayName(std::move(display_name))
+{
+}
+
+BitVector
+ExtendedBchCode::computeCheck(const BitVector &data) const
+{
+    BitVector check = inner.computeCheck(data);
+    // Overall parity bit: make the full codeword even-parity.
+    check.pushBack(data.parity() ^ check.parity());
+    return check;
+}
+
+DecodeResult
+ExtendedBchCode::decode(const BitVector &codeword) const
+{
+    const size_t n_inner = inner.codewordBits();
+    assert(codeword.size() == n_inner + 1);
+
+    // Overall parity of the received word equals (#errors mod 2),
+    // because every valid codeword has even parity.
+    const bool parity_odd = codeword.parity();
+
+    DecodeResult result = inner.decode(codeword.slice(0, n_inner));
+    if (result.uncorrectable())
+        return result;
+
+    const size_t num_corrected = result.correctedPositions.size();
+    const bool parity_consistent = (num_corrected % 2 == 1) == parity_odd;
+
+    if (parity_consistent)
+        return result;
+
+    // Parity disagrees with the inner correction count: one more error
+    // exists. If the inner decoder was below capacity, it must be the
+    // parity bit itself; at full capacity it proves >= t+1 errors.
+    if (num_corrected < inner.correctCapability()) {
+        result.correctedPositions.push_back(n_inner);
+        result.status = DecodeStatus::kCorrected;
+        return result;
+    }
+    result.status = DecodeStatus::kDetectedUncorrectable;
+    result.data = codeword.slice(0, inner.dataBits());
+    result.correctedPositions.clear();
+    return result;
+}
+
+std::string
+ExtendedBchCode::name() const
+{
+    return "(" + std::to_string(codewordBits()) + "," +
+           std::to_string(dataBits()) + ") " + displayName;
+}
+
+} // namespace tdc

@@ -1,0 +1,17 @@
+#include "ecc/code.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+BitVector
+Code::encode(const BitVector &data) const
+{
+    assert(data.size() == dataBits());
+    BitVector codeword(data);
+    codeword.append(computeCheck(data));
+    return codeword;
+}
+
+} // namespace tdc

@@ -1,0 +1,55 @@
+#include "ecc/code_factory.hh"
+
+#include <cassert>
+
+#include "ecc/bch.hh"
+#include "ecc/hsiao.hh"
+#include "ecc/interleaved_parity.hh"
+#include "ecc/parity.hh"
+
+namespace tdc
+{
+
+std::string
+codeKindName(CodeKind kind)
+{
+    switch (kind) {
+      case CodeKind::kParity: return "Parity";
+      case CodeKind::kEdc8: return "EDC8";
+      case CodeKind::kEdc16: return "EDC16";
+      case CodeKind::kEdc32: return "EDC32";
+      case CodeKind::kSecDed: return "SECDED";
+      case CodeKind::kDecTed: return "DECTED";
+      case CodeKind::kQecPed: return "QECPED";
+      case CodeKind::kOecNed: return "OECNED";
+    }
+    assert(false);
+    return {};
+}
+
+CodePtr
+makeCode(CodeKind kind, size_t data_bits)
+{
+    switch (kind) {
+      case CodeKind::kParity:
+        return std::make_shared<ParityCode>(data_bits);
+      case CodeKind::kEdc8:
+        return std::make_shared<InterleavedParityCode>(data_bits, 8);
+      case CodeKind::kEdc16:
+        return std::make_shared<InterleavedParityCode>(data_bits, 16);
+      case CodeKind::kEdc32:
+        return std::make_shared<InterleavedParityCode>(data_bits, 32);
+      case CodeKind::kSecDed:
+        return std::make_shared<HsiaoSecDedCode>(data_bits);
+      case CodeKind::kDecTed:
+        return std::make_shared<ExtendedBchCode>(data_bits, 2, "DECTED");
+      case CodeKind::kQecPed:
+        return std::make_shared<ExtendedBchCode>(data_bits, 4, "QECPED");
+      case CodeKind::kOecNed:
+        return std::make_shared<ExtendedBchCode>(data_bits, 8, "OECNED");
+    }
+    assert(false);
+    return nullptr;
+}
+
+} // namespace tdc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * First-order VLSI cost model of EDC/ECC coding logic: check-bit
+ * storage, XOR-tree coding latency, and coding energy. These are the
+ * quantities Figures 1 and 7 of the paper compare across schemes.
+ */
+
+#ifndef TDC_ECC_COST_MODEL_HH
+#define TDC_ECC_COST_MODEL_HH
+
+#include <cstddef>
+
+#include "ecc/code.hh"
+#include "ecc/code_factory.hh"
+
+namespace tdc
+{
+
+/**
+ * Static cost figures of one coding scheme applied to one word
+ * geometry. Latency is reported in logic levels (2-input gate depths)
+ * following the paper's method: "the depth of syndrome generation and
+ * comparison circuit that consists of an XOR tree and an OR tree",
+ * with a dedicated XOR tree per check bit. Energy is reported as the
+ * number of 2-input gate evaluations per access (proportional to
+ * switched capacitance in the coding logic).
+ */
+struct CodingCost
+{
+    size_t dataBits = 0;
+    size_t checkBits = 0;
+
+    /** r/k extra storage fraction. */
+    double storageOverhead = 0.0;
+
+    /** Depth (logic levels) of the widest check-bit XOR tree. */
+    size_t encodeLevels = 0;
+
+    /**
+     * Depth of syndrome generation + zero-compare (XOR tree + OR
+     * tree): the read-path detection latency.
+     */
+    size_t detectLevels = 0;
+
+    /**
+     * Additional levels for the correction path (syndrome decode +
+     * correction mux). Zero for detection-only codes.
+     */
+    size_t correctLevels = 0;
+
+    /** 2-input XOR gates evaluated per encode. */
+    size_t encodeGates = 0;
+
+    /** 2-input gates evaluated per read check (XOR + OR trees). */
+    size_t detectGates = 0;
+};
+
+/**
+ * Compute the cost of @p kind applied to @p data_bits wide words.
+ * Gate/level counts are derived from the real H-matrix row weights of
+ * the constructed code (not a table), so they track the actual
+ * implementations in this library.
+ */
+CodingCost codingCost(CodeKind kind, size_t data_bits);
+
+/** Number of check bits of @p kind over @p data_bits (convenience). */
+size_t checkBitsOf(CodeKind kind, size_t data_bits);
+
+} // namespace tdc
+
+#endif // TDC_ECC_COST_MODEL_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Finite-field arithmetic over GF(2^m), 3 <= m <= 12, via log/antilog
+ * tables. Substrate for the BCH codecs.
+ */
+
+#ifndef TDC_ECC_GF2M_HH
+#define TDC_ECC_GF2M_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tdc
+{
+
+/**
+ * GF(2^m) built from a fixed primitive polynomial per m. Elements are
+ * represented as integers 0..2^m-1 (polynomial basis). alpha = 2 is a
+ * primitive element.
+ */
+class GF2m
+{
+  public:
+    explicit GF2m(unsigned m);
+
+    unsigned degree() const { return m; }
+
+    /** Field size 2^m. */
+    uint32_t size() const { return fieldSize; }
+
+    /** Multiplicative group order 2^m - 1. */
+    uint32_t order() const { return fieldSize - 1; }
+
+    /** Field addition = XOR. */
+    uint32_t add(uint32_t a, uint32_t b) const { return a ^ b; }
+
+    uint32_t mul(uint32_t a, uint32_t b) const;
+    uint32_t inv(uint32_t a) const;
+    uint32_t div(uint32_t a, uint32_t b) const;
+
+    /** alpha^e for any integer exponent (reduced mod order). */
+    uint32_t alphaPow(int64_t e) const;
+
+    /** Discrete log base alpha. @pre a != 0 */
+    uint32_t log(uint32_t a) const;
+
+    /** a^e for field element a. */
+    uint32_t pow(uint32_t a, int64_t e) const;
+
+    /** The primitive polynomial used (bit i = coefficient of x^i). */
+    uint32_t primitivePoly() const { return primPoly; }
+
+  private:
+    unsigned m;
+    uint32_t fieldSize;
+    uint32_t primPoly;
+    std::vector<uint32_t> expTable; // expTable[i] = alpha^i, 0..2*order
+    std::vector<uint32_t> logTable; // logTable[a] = log_alpha(a)
+};
+
+/**
+ * Polynomial over GF(2^m), coefficient i = coeff of x^i. Minimal
+ * operations needed by BCH generator construction and decoding.
+ */
+class GFPoly
+{
+  public:
+    GFPoly() = default;
+    explicit GFPoly(std::vector<uint32_t> coeffs);
+
+    /** Degree; the zero polynomial reports degree 0. */
+    size_t degree() const;
+
+    uint32_t coeff(size_t i) const { return i < c.size() ? c[i] : 0; }
+    void setCoeff(size_t i, uint32_t value);
+
+    bool isZero() const;
+
+    /** Evaluate at @p x using Horner's rule. */
+    uint32_t eval(const GF2m &field, uint32_t x) const;
+
+    static GFPoly add(const GFPoly &a, const GFPoly &b);
+    static GFPoly mul(const GF2m &field, const GFPoly &a, const GFPoly &b);
+
+    /** Formal derivative (char 2: even-power terms vanish). */
+    GFPoly derivative() const;
+
+    const std::vector<uint32_t> &coeffs() const { return c; }
+
+  private:
+    void trim();
+    std::vector<uint32_t> c;
+};
+
+} // namespace tdc
+
+#endif // TDC_ECC_GF2M_HH

@@ -1,0 +1,135 @@
+#include "ecc/hsiao.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace tdc
+{
+
+namespace
+{
+
+/** Number of r-bit values with odd weight >= 3. */
+uint64_t
+oddHeavyColumnCount(size_t r)
+{
+    // 2^(r-1) odd-weight vectors total, minus the r weight-1 vectors.
+    return (uint64_t(1) << (r - 1)) - r;
+}
+
+} // namespace
+
+size_t
+HsiaoSecDedCode::checkBitsFor(size_t data_bits)
+{
+    for (size_t r = 4; r < 64; ++r) {
+        if (oddHeavyColumnCount(r) >= data_bits)
+            return r;
+    }
+    assert(false && "data word too wide");
+    return 0;
+}
+
+HsiaoSecDedCode::HsiaoSecDedCode(size_t data_bits)
+    : k(data_bits), r(checkBitsFor(data_bits))
+{
+    // Assign data columns: all odd-weight-(>=3) r-bit vectors, smallest
+    // weight first (Hsiao's construction minimizes total H weight and
+    // hence encoder XOR count); within a weight, ascending numeric
+    // order for determinism.
+    columns.reserve(k + r);
+    for (size_t w = 3; columns.size() < k && w <= r; w += 2) {
+        for (uint64_t v = 0; v < (uint64_t(1) << r) && columns.size() < k;
+             ++v) {
+            if (size_t(std::popcount(v)) == w)
+                columns.push_back(v);
+        }
+    }
+    assert(columns.size() == k);
+    // Check columns: unit vectors.
+    for (size_t i = 0; i < r; ++i)
+        columns.push_back(uint64_t(1) << i);
+}
+
+BitVector
+HsiaoSecDedCode::computeCheck(const BitVector &data) const
+{
+    assert(data.size() == k);
+    uint64_t acc = 0;
+    for (size_t i = 0; i < k; ++i) {
+        if (data.get(i))
+            acc ^= columns[i];
+    }
+    BitVector check(r, acc);
+    return check;
+}
+
+DecodeResult
+HsiaoSecDedCode::decode(const BitVector &codeword) const
+{
+    assert(codeword.size() == k + r);
+    DecodeResult result;
+    result.data = codeword.slice(0, k);
+
+    uint64_t syndrome = 0;
+    for (size_t i = 0; i < k + r; ++i) {
+        if (codeword.get(i))
+            syndrome ^= columns[i];
+    }
+
+    if (syndrome == 0) {
+        result.status = DecodeStatus::kClean;
+        return result;
+    }
+
+    if (std::popcount(syndrome) % 2 == 1) {
+        // Odd syndrome: try single-bit correction.
+        for (size_t i = 0; i < k + r; ++i) {
+            if (columns[i] == syndrome) {
+                if (i < k)
+                    result.data.flip(i);
+                result.correctedPositions.push_back(i);
+                result.status = DecodeStatus::kCorrected;
+                return result;
+            }
+        }
+        // Odd-weight syndrome matching no column: >= 3 errors.
+        result.status = DecodeStatus::kDetectedUncorrectable;
+        return result;
+    }
+
+    // Even nonzero syndrome: double-bit error detected.
+    result.status = DecodeStatus::kDetectedUncorrectable;
+    return result;
+}
+
+size_t
+HsiaoSecDedCode::maxRowWeight() const
+{
+    size_t best = 0;
+    for (size_t row = 0; row < r; ++row) {
+        size_t weight = 0;
+        for (size_t i = 0; i < k + r; ++i)
+            weight += (columns[i] >> row) & 1;
+        best = std::max(best, weight);
+    }
+    return best;
+}
+
+size_t
+HsiaoSecDedCode::totalRowWeight() const
+{
+    size_t total = 0;
+    for (uint64_t c : columns)
+        total += std::popcount(c);
+    return total;
+}
+
+std::string
+HsiaoSecDedCode::name() const
+{
+    return "(" + std::to_string(k + r) + "," + std::to_string(k) +
+           ") SECDED";
+}
+
+} // namespace tdc

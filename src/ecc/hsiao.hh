@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Generic Hsiao-style odd-weight-column SECDED code.
+ */
+
+#ifndef TDC_ECC_HSIAO_HH
+#define TDC_ECC_HSIAO_HH
+
+#include <vector>
+
+#include "ecc/code.hh"
+
+namespace tdc
+{
+
+/**
+ * Single-error-correct double-error-detect (SECDED) code built with
+ * the odd-weight-column construction of Hsiao: the parity-check matrix
+ * H has r rows; every codeword bit contributes one distinct odd-weight
+ * column. Data columns use weight >= 3 (smallest weights first, to
+ * minimize XOR-tree size), check columns are the r unit vectors.
+ *
+ * Decoding:
+ *  - syndrome zero                      -> clean
+ *  - syndrome equals column i           -> single error at bit i, fixed
+ *  - syndrome odd weight, not a column  -> detected (>= 3 odd errors)
+ *  - syndrome even weight, nonzero      -> double error detected
+ *
+ * For k = 64 this yields the (72,64) code used in commercial caches;
+ * for k = 256 it yields (266,256) — both word geometries used by the
+ * paper (Figures 1, 2, 7).
+ */
+class HsiaoSecDedCode : public Code
+{
+  public:
+    explicit HsiaoSecDedCode(size_t data_bits);
+
+    size_t dataBits() const override { return k; }
+    size_t checkBits() const override { return r; }
+    BitVector computeCheck(const BitVector &data) const override;
+    DecodeResult decode(const BitVector &codeword) const override;
+    size_t correctCapability() const override { return 1; }
+    size_t detectCapability() const override { return 2; }
+    std::string name() const override;
+
+    /**
+     * Weight of the heaviest parity-check row: the widest XOR-tree
+     * fan-in, used by the coding-latency model.
+     */
+    size_t maxRowWeight() const;
+
+    /** Total number of ones in H: total XOR-tree gate count. */
+    size_t totalRowWeight() const;
+
+    /** Minimum r such that k data columns of odd weight >= 3 exist. */
+    static size_t checkBitsFor(size_t data_bits);
+
+  private:
+    /** Column of H assigned to codeword bit @p pos, as an r-bit mask. */
+    uint64_t column(size_t pos) const { return columns[pos]; }
+
+    size_t k;
+    size_t r;
+    /** H columns for all n = k + r codeword bits (bit i of the mask is
+     *  row i of H). */
+    std::vector<uint64_t> columns;
+};
+
+} // namespace tdc
+
+#endif // TDC_ECC_HSIAO_HH

@@ -1,0 +1,55 @@
+#include "ecc/interleaved_parity.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+InterleavedParityCode::InterleavedParityCode(size_t data_bits, size_t n)
+    : k(data_bits), numClasses(n)
+{
+    assert(k > 0);
+    assert(numClasses > 0);
+    assert(numClasses <= k);
+}
+
+BitVector
+InterleavedParityCode::computeCheck(const BitVector &data) const
+{
+    assert(data.size() == k);
+    BitVector check(numClasses);
+    for (size_t i = 0; i < k; ++i) {
+        if (data.get(i))
+            check.flip(i % numClasses);
+    }
+    return check;
+}
+
+BitVector
+InterleavedParityCode::syndrome(const BitVector &codeword) const
+{
+    assert(codeword.size() == codewordBits());
+    BitVector syn = computeCheck(codeword.slice(0, k));
+    syn ^= codeword.slice(k, numClasses);
+    return syn;
+}
+
+DecodeResult
+InterleavedParityCode::decode(const BitVector &codeword) const
+{
+    DecodeResult result;
+    result.data = codeword.slice(0, k);
+    result.status = syndrome(codeword).none()
+                        ? DecodeStatus::kClean
+                        : DecodeStatus::kDetectedUncorrectable;
+    return result;
+}
+
+std::string
+InterleavedParityCode::name() const
+{
+    return "EDC" + std::to_string(numClasses) + " (" +
+           std::to_string(codewordBits()) + "," + std::to_string(k) + ")";
+}
+
+} // namespace tdc

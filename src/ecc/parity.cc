@@ -1,0 +1,40 @@
+#include "ecc/parity.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+ParityCode::ParityCode(size_t data_bits)
+    : k(data_bits)
+{
+    assert(k > 0);
+}
+
+BitVector
+ParityCode::computeCheck(const BitVector &data) const
+{
+    assert(data.size() == k);
+    BitVector check(1);
+    check.set(0, data.parity());
+    return check;
+}
+
+DecodeResult
+ParityCode::decode(const BitVector &codeword) const
+{
+    assert(codeword.size() == k + 1);
+    DecodeResult result;
+    result.data = codeword.slice(0, k);
+    result.status = codeword.parity() ? DecodeStatus::kDetectedUncorrectable
+                                      : DecodeStatus::kClean;
+    return result;
+}
+
+std::string
+ParityCode::name() const
+{
+    return "(" + std::to_string(k + 1) + "," + std::to_string(k) + ") parity";
+}
+
+} // namespace tdc

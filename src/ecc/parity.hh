@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Single-bit even parity: the lightest error-detecting code.
+ */
+
+#ifndef TDC_ECC_PARITY_HH
+#define TDC_ECC_PARITY_HH
+
+#include "ecc/code.hh"
+
+namespace tdc
+{
+
+/**
+ * Even parity over the whole data word: detects any odd number of bit
+ * flips (guaranteed: any single flip). Detection only.
+ */
+class ParityCode : public Code
+{
+  public:
+    explicit ParityCode(size_t data_bits);
+
+    size_t dataBits() const override { return k; }
+    size_t checkBits() const override { return 1; }
+    BitVector computeCheck(const BitVector &data) const override;
+    DecodeResult decode(const BitVector &codeword) const override;
+    size_t correctCapability() const override { return 0; }
+    size_t detectCapability() const override { return 1; }
+    std::string name() const override;
+
+  private:
+    size_t k;
+};
+
+} // namespace tdc
+
+#endif // TDC_ECC_PARITY_HH

@@ -1,0 +1,64 @@
+#include "reliability/scrub_model.hh"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace tdc
+{
+
+double
+ScrubModel::doubleUpsetProbPerWordPerInterval() const
+{
+    // Poisson arrivals at rate r over window T: P(>=2) =
+    // 1 - e^{-rT}(1 + rT). Computed via expm1 so the second-order
+    // term survives for the tiny per-word rates of real memories
+    // (rT ~ 1e-8 would cancel to zero in the naive form).
+    const double rt = p.perWordRate() * p.scrubIntervalHours;
+    return -std::expm1(-rt) - rt * std::exp(-rt);
+}
+
+double
+ScrubModel::expectedUncorrectable(double mission_hours) const
+{
+    if (p.scrubIntervalHours <= 0.0)
+        return 0.0; // per-read checking: no accumulation window
+    const double intervals = mission_hours / p.scrubIntervalHours;
+    return double(p.words) * intervals *
+           doubleUpsetProbPerWordPerInterval();
+}
+
+double
+ScrubModel::survivalProbability(double mission_hours) const
+{
+    return std::exp(-expectedUncorrectable(mission_hours));
+}
+
+double
+ScrubModel::monteCarlo(double mission_hours, int trials, Rng &rng) const
+{
+    if (p.scrubIntervalHours <= 0.0)
+        return 1.0;
+    int survived = 0;
+    const double per_interval_mean =
+        p.errorsPerHour * p.scrubIntervalHours;
+    const uint64_t intervals =
+        uint64_t(mission_hours / p.scrubIntervalHours);
+    for (int t = 0; t < trials; ++t) {
+        bool ok = true;
+        for (uint64_t i = 0; i < intervals && ok; ++i) {
+            const uint64_t upsets = rng.nextPoisson(per_interval_mean);
+            std::unordered_set<uint64_t> hit;
+            for (uint64_t u = 0; u < upsets; ++u) {
+                const uint64_t word = rng.nextBelow(p.words);
+                if (!hit.insert(word).second) {
+                    ok = false; // second upset in an unscrubbed word
+                    break;
+                }
+            }
+        }
+        survived += ok;
+    }
+    return double(survived) / double(trials);
+}
+
+} // namespace tdc

@@ -1,0 +1,100 @@
+#include "reliability/yield_model.hh"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace tdc
+{
+
+YieldParams
+YieldParams::l2Cache16MB()
+{
+    YieldParams p;
+    p.words = 16ull * 1024 * 1024 * 8 / 64; // 2M 64-bit data words
+    p.wordBits = 72;                        // (72,64) SECDED storage
+    return p;
+}
+
+double
+YieldModel::expectedFaultyWords(double faults) const
+{
+    // Per-word fault count ~ Poisson(lambda), lambda = F / N.
+    const double lambda = faults / double(p.words);
+    return double(p.words) * (1.0 - std::exp(-lambda));
+}
+
+double
+YieldModel::expectedMultiFaultWords(double faults) const
+{
+    const double lambda = faults / double(p.words);
+    return double(p.words) *
+           (1.0 - std::exp(-lambda) * (1.0 + lambda));
+}
+
+double
+YieldModel::poissonCdf(double mean, double k)
+{
+    if (mean <= 0.0)
+        return 1.0;
+    if (mean < 60.0) {
+        double term = std::exp(-mean);
+        double sum = term;
+        for (double i = 1.0; i <= k; ++i) {
+            term *= mean / i;
+            sum += term;
+        }
+        return std::min(1.0, sum);
+    }
+    // Normal approximation with continuity correction.
+    const double z = (k + 0.5 - mean) / std::sqrt(mean);
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double
+YieldModel::yieldSpareOnly(double faults, size_t spares) const
+{
+    return poissonCdf(expectedFaultyWords(faults), double(spares));
+}
+
+double
+YieldModel::yieldEccOnly(double faults) const
+{
+    return poissonCdf(expectedMultiFaultWords(faults), 0.0);
+}
+
+double
+YieldModel::yieldEccPlusSpares(double faults, size_t spares) const
+{
+    return poissonCdf(expectedMultiFaultWords(faults), double(spares));
+}
+
+YieldModel::McResult
+YieldModel::monteCarlo(size_t faults, size_t spares, int trials,
+                       Rng &rng) const
+{
+    McResult out;
+    for (int t = 0; t < trials; ++t) {
+        // Scatter faults; count per-word multiplicities.
+        std::unordered_map<uint64_t, unsigned> hit;
+        hit.reserve(faults * 2);
+        for (size_t f = 0; f < faults; ++f) {
+            const uint64_t bit = rng.nextBelow(p.totalBits());
+            ++hit[bit / p.wordBits];
+        }
+        size_t any = hit.size();
+        size_t multi = 0;
+        for (const auto &[word, count] : hit)
+            multi += count >= 2;
+        out.spareOnly += any <= spares ? 1.0 : 0.0;
+        out.eccOnly += multi == 0 ? 1.0 : 0.0;
+        out.eccPlusSpares += multi <= spares ? 1.0 : 0.0;
+    }
+    out.spareOnly /= trials;
+    out.eccOnly /= trials;
+    out.eccPlusSpares /= trials;
+    return out;
+}
+
+} // namespace tdc

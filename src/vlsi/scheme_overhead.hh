@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Composite area / latency / power model of complete cache protection
+ * schemes: conventional (ECC + physical interleaving), 2D coding, and
+ * the write-through duplication alternative. Feeds Figures 1(c) and 7.
+ */
+
+#ifndef TDC_VLSI_SCHEME_OVERHEAD_HH
+#define TDC_VLSI_SCHEME_OVERHEAD_HH
+
+#include <string>
+
+#include "ecc/cost_model.hh"
+#include "vlsi/sram_model.hh"
+
+namespace tdc
+{
+
+/** Kind of protection scheme being modelled. */
+enum class SchemeStyle
+{
+    /** Per-word horizontal code + physical interleaving only. */
+    kConventional,
+    /** 2D: horizontal code + interleave + vertical parity rows. */
+    kTwoDim,
+    /**
+     * EDC-only L1 with write-through duplication into L2: cheap array
+     * but every store is duplicated in the next level (Figure 7(a)
+     * right-most bar).
+     */
+    kWriteThrough,
+};
+
+/** Full description of a protection scheme applied to one cache. */
+struct SchemeSpec
+{
+    SchemeStyle style = SchemeStyle::kConventional;
+    CodeKind horizontal = CodeKind::kSecDed;
+    size_t interleave = 2;
+    /** Vertical parity rows per bank (2D only). */
+    size_t verticalRows = 32;
+    /**
+     * Data rows per recovery bank for the vertical storage fraction.
+     * 0 (default) derives it from the subarray height the SRAM
+     * optimizer picks — the paper adds "32 parity rows per cache
+     * bank", so the fraction depends on the real bank organization,
+     * not on the illustrative 256-row array of Figure 3.
+     */
+    size_t dataRowsPerBank = 0;
+
+    std::string label() const;
+
+    static SchemeSpec conventional(CodeKind kind, size_t interleave);
+    static SchemeSpec twoDim(CodeKind horizontal, size_t interleave,
+                             size_t vertical_rows = 32,
+                             size_t data_rows = 0);
+    static SchemeSpec writeThrough(CodeKind kind, size_t interleave);
+};
+
+/** The cache geometry a scheme is evaluated on. */
+struct CacheGeometry
+{
+    size_t capacityBytes = 64 * 1024;
+    size_t wordBits = 64;
+    size_t banks = 1;
+    /** Fraction of accesses that are writes (for write-through and
+     *  read-before-write power accounting). */
+    double writeFraction = 0.25;
+    /** Energy multiplier of a duplicate write into the next cache
+     *  level, relative to one read of *this* cache (write-through
+     *  only; L2 accesses are far more expensive than L1). */
+    double nextLevelWriteCost = 4.0;
+
+    /** 64 kB L1 geometry used by the paper's Figure 7(a). */
+    static CacheGeometry l1();
+    /** 4 MB, 8-bank L2 geometry of Figure 7(b). */
+    static CacheGeometry l2();
+};
+
+/** Absolute overhead figures of one scheme on one geometry. */
+struct SchemeOverhead
+{
+    /** Check-bit (+ vertical row) storage, fraction of data bits. */
+    double codeAreaFraction = 0.0;
+    /** Coding latency in logic levels on the read path. */
+    double codingLatencyLevels = 0.0;
+    /**
+     * Dynamic power per *demand* access: array read energy + coding
+     * energy, times the access multiplier of the scheme (1.2 for 2D's
+     * read-before-write traffic, 1 + writeFraction * cost for
+     * write-through duplication).
+     */
+    double dynamicEnergy = 0.0;
+
+    /** Array energy excluding scheme multipliers (for reporting). */
+    double baseArrayEnergy = 0.0;
+};
+
+/** Evaluate @p spec on @p geom under @p objective. */
+SchemeOverhead evaluateScheme(const SchemeSpec &spec,
+                              const CacheGeometry &geom,
+                              SramObjective objective =
+                                  SramObjective::kBalanced,
+                              const TechParams &tech = defaultTech());
+
+/**
+ * Overheads of @p spec normalized to a reference scheme (the paper
+ * normalizes Figure 7 to SECDED + 2-way interleaving).
+ */
+struct NormalizedOverhead
+{
+    double area = 1.0;
+    double latency = 1.0;
+    double power = 1.0;
+};
+
+NormalizedOverhead normalizeScheme(const SchemeSpec &spec,
+                                   const SchemeSpec &reference,
+                                   const CacheGeometry &geom,
+                                   SramObjective objective =
+                                       SramObjective::kBalanced,
+                                   const TechParams &tech = defaultTech());
+
+} // namespace tdc
+
+#endif // TDC_VLSI_SCHEME_OVERHEAD_HH

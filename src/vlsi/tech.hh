@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Normalized technology parameters for the analytical SRAM model.
+ *
+ * The paper uses Cacti 4.0 at 70 nm and reports *relative* overheads
+ * (normalized energy, % area). This model therefore works in
+ * normalized units — one SRAM cell of area, one unit of gate
+ * capacitance — chosen so that first-order RC scaling matches the
+ * published Cacti behaviour: bitline energy dominates and grows with
+ * the number of columns swung per access, wordline delay grows with
+ * row width, and sense-amp/decoder overheads grow with partitioning.
+ */
+
+#ifndef TDC_VLSI_TECH_HH
+#define TDC_VLSI_TECH_HH
+
+namespace tdc
+{
+
+/** Normalized 70 nm-flavoured constants. Units: cell pitches, cell
+ *  capacitances, and gate energies relative to one SRAM cell. */
+struct TechParams
+{
+    // --- Delay coefficients (arbitrary time units) -----------------
+    double decodeBase = 2.0;   ///< decoder intrinsic delay
+    double decodePerBit = 0.8; ///< per address bit decoded
+    double wordlinePerCol = 0.004; ///< wordline RC per column driven
+    double bitlinePerRow = 0.010;  ///< bitline RC per row of height
+    double senseAmp = 1.5;         ///< sense amplifier resolve
+    double muxPerLevel = 0.5;      ///< column mux per 2:1 level
+    double routePerSqrtBit = 0.0006; ///< global H-tree per sqrt(bit)
+    double routePerSubarrayLevel = 0.35; ///< H-tree depth per log2(N_sub)
+
+    // --- Energy coefficients (arbitrary energy units) --------------
+    double eDecodePerBit = 0.4;   ///< decoder energy per address bit
+    double eWordlinePerCol = 0.010; ///< wordline swing per column
+    /** Bitline partial-swing energy per column per row-of-height:
+     *  every column of the activated subarray swings its bitline. */
+    double eBitlinePerColRow = 0.00022;
+    double eSenseAmpPerCol = 0.012; ///< per column sensed
+    double ePerOutputBit = 0.02;    ///< data output drive per bit
+    double eRoutePerSqrtBit = 0.0020; ///< H-tree energy
+    double ePerSubarray = 0.08; ///< predecode + H-tree switching per subarray
+    /** Energy of one 2-input logic gate evaluation (XOR/OR in the
+     *  coding logic), relative to the array units above. */
+    double ePerGate = 0.010;
+
+    // --- Area coefficients (units of one SRAM cell) ----------------
+    double cellArea = 1.0;
+    double senseAmpAreaPerCol = 6.0; ///< per column per segment
+    double decodeAreaPerRow = 0.6;   ///< row decoder strip
+    double areaWireOverhead = 0.12;  ///< global wiring fraction
+    double gateArea = 2.0;           ///< one coding logic gate
+};
+
+/** The default technology point used everywhere. */
+inline const TechParams &
+defaultTech()
+{
+    static const TechParams tech;
+    return tech;
+}
+
+} // namespace tdc
+
+#endif // TDC_VLSI_TECH_HH

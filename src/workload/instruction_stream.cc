@@ -1,0 +1,61 @@
+#include "workload/instruction_stream.hh"
+
+#include <algorithm>
+
+namespace tdc
+{
+
+InstructionStream::InstructionStream(const WorkloadProfile &profile_,
+                                     uint64_t seed)
+    : profile(profile_), rng(seed)
+{
+}
+
+SyntheticInstr
+InstructionStream::next()
+{
+    // Markov burst phase transition.
+    if (inBurst) {
+        if (rng.nextBool(profile.burstOffProb))
+            inBurst = false;
+    } else {
+        if (rng.nextBool(profile.burstOnProb))
+            inBurst = true;
+    }
+    const double boost = inBurst ? profile.burstLoadBoost : 1.0;
+    const double load_p = std::min(0.9, profile.loadFrac * boost);
+    const double store_p = std::min(0.9 - load_p, profile.storeFrac * boost);
+
+    SyntheticInstr instr;
+    instr.ifetchMiss = rng.nextBool(profile.l1iMissRate);
+    instr.bankHash = uint32_t(rng.next());
+
+    // ILP bubbles: geometric tail, capped so one draw cannot freeze a
+    // core for long.
+    if (rng.nextBool(profile.ilpBubbleProb)) {
+        instr.bubbles = 1;
+        while (instr.bubbles < 4 && rng.nextBool(0.45))
+            ++instr.bubbles;
+    }
+
+    const double draw = rng.nextDouble();
+    if (draw < load_p)
+        instr.kind = SyntheticInstr::Kind::kLoad;
+    else if (draw < load_p + store_p)
+        instr.kind = SyntheticInstr::Kind::kStore;
+    else
+        instr.kind = SyntheticInstr::Kind::kNonMem;
+
+    if (instr.kind != SyntheticInstr::Kind::kNonMem) {
+        instr.l1dMiss = rng.nextBool(profile.l1dMissRate);
+        if (instr.l1dMiss) {
+            instr.l2Miss = rng.nextBool(profile.l2MissRate);
+            instr.dirtyEvict = rng.nextBool(profile.dirtyEvictFrac);
+            instr.dirtyShared =
+                !instr.l2Miss && rng.nextBool(profile.dirtySharedFrac);
+        }
+    }
+    return instr;
+}
+
+} // namespace tdc

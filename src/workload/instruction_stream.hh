@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Synthetic per-core instruction stream driven by a WorkloadProfile.
+ */
+
+#ifndef TDC_WORKLOAD_INSTRUCTION_STREAM_HH
+#define TDC_WORKLOAD_INSTRUCTION_STREAM_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "workload/workload_profile.hh"
+
+namespace tdc
+{
+
+/** One synthetic instruction as seen by the cache hierarchy. */
+struct SyntheticInstr
+{
+    enum class Kind
+    {
+        kNonMem,
+        kLoad,
+        kStore,
+    };
+
+    Kind kind = Kind::kNonMem;
+
+    /** Instruction-fetch misses the L1I (goes to L2). */
+    bool ifetchMiss = false;
+
+    /** For loads/stores: the data access misses the L1D. */
+    bool l1dMiss = false;
+
+    /** For L1D misses: the refill also misses the L2. */
+    bool l2Miss = false;
+
+    /** For L1D misses: the victim line is dirty (write-back to L2). */
+    bool dirtyEvict = false;
+
+    /** For L1D misses: served by dirty data in a peer core's L1. */
+    bool dirtyShared = false;
+
+    /** Uniform hash used to pick an L2 bank. */
+    uint32_t bankHash = 0;
+
+    /** Dead issue slots preceding this instruction (ILP stalls). */
+    unsigned bubbles = 0;
+};
+
+/**
+ * Stochastic instruction generator with two-state Markov burstiness.
+ * Each core (or hardware thread) owns one stream seeded
+ * independently, so runs are reproducible and baseline/protected
+ * simulations can be paired sample-by-sample (the matched-pair
+ * methodology the paper borrows from SimFlex).
+ */
+class InstructionStream
+{
+  public:
+    InstructionStream(const WorkloadProfile &profile, uint64_t seed);
+
+    /** Generate the next instruction. */
+    SyntheticInstr next();
+
+    /** Whether the stream is currently in its bursty phase. */
+    bool bursty() const { return inBurst; }
+
+  private:
+    const WorkloadProfile profile;
+    Rng rng;
+    bool inBurst = false;
+};
+
+} // namespace tdc
+
+#endif // TDC_WORKLOAD_INSTRUCTION_STREAM_HH

@@ -1,0 +1,143 @@
+#include "workload/workload_profile.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+namespace
+{
+
+/**
+ * Calibration notes (targets from Figure 6 of the paper):
+ *  - Commercial workloads (OLTP/DSS/Web) have large instruction
+ *    footprints (visible L2 Read:Inst traffic), moderate L1D miss
+ *    rates and bursty access patterns.
+ *  - Scientific workloads stream data: Moldyn is compute-heavy with a
+ *    hot L1, Ocean and Sparse miss more and move more fill/evict
+ *    traffic.
+ *  - Writes are a modest fraction of total cache accesses everywhere
+ *    (the observation that makes read-before-write cheap).
+ */
+std::vector<WorkloadProfile>
+buildWorkloads()
+{
+    std::vector<WorkloadProfile> all;
+
+    WorkloadProfile oltp;
+    oltp.name = "OLTP";
+    oltp.loadFrac = 0.26;
+    oltp.storeFrac = 0.12;
+    oltp.l1iMissRate = 0.020;
+    oltp.l1dMissRate = 0.045;
+    oltp.l2MissRate = 0.18;
+    oltp.dirtyEvictFrac = 0.40;
+    oltp.burstOnProb = 0.03;
+    oltp.burstOffProb = 0.08;
+    oltp.burstLoadBoost = 1.7;
+    oltp.dirtySharedFrac = 0.14;
+    oltp.ilpBubbleProb = 0.62;
+    all.push_back(oltp);
+
+    WorkloadProfile dss;
+    dss.name = "DSS";
+    dss.loadFrac = 0.30;
+    dss.storeFrac = 0.08;
+    dss.l1iMissRate = 0.012;
+    dss.l1dMissRate = 0.030;
+    dss.l2MissRate = 0.30;
+    dss.dirtyEvictFrac = 0.25;
+    dss.burstOnProb = 0.02;
+    dss.burstOffProb = 0.10;
+    dss.burstLoadBoost = 1.5;
+    dss.dirtySharedFrac = 0.06;
+    dss.ilpBubbleProb = 0.55;
+    all.push_back(dss);
+
+    WorkloadProfile web;
+    web.name = "Web";
+    web.loadFrac = 0.27;
+    web.storeFrac = 0.11;
+    web.l1iMissRate = 0.025;
+    web.l1dMissRate = 0.040;
+    web.l2MissRate = 0.12;
+    web.dirtyEvictFrac = 0.35;
+    web.burstOnProb = 0.04;
+    web.burstOffProb = 0.07;
+    web.burstLoadBoost = 1.8;
+    web.dirtySharedFrac = 0.1;
+    web.ilpBubbleProb = 0.64;
+    all.push_back(web);
+
+    WorkloadProfile moldyn;
+    moldyn.name = "Moldyn";
+    moldyn.loadFrac = 0.30;
+    moldyn.storeFrac = 0.11;
+    moldyn.l1iMissRate = 0.001;
+    moldyn.l1dMissRate = 0.012;
+    moldyn.l2MissRate = 0.25;
+    moldyn.dirtyEvictFrac = 0.45;
+    moldyn.burstOnProb = 0.01;
+    moldyn.burstOffProb = 0.25;
+    moldyn.burstLoadBoost = 1.2;
+    moldyn.scientific = true;
+    moldyn.dirtySharedFrac = 0.04;
+    moldyn.ilpBubbleProb = 0.42;
+    all.push_back(moldyn);
+
+    WorkloadProfile ocean;
+    ocean.name = "Ocean";
+    ocean.loadFrac = 0.27;
+    ocean.storeFrac = 0.10;
+    ocean.l1iMissRate = 0.001;
+    ocean.l1dMissRate = 0.055;
+    ocean.l2MissRate = 0.45;
+    ocean.dirtyEvictFrac = 0.50;
+    ocean.burstOnProb = 0.01;
+    ocean.burstOffProb = 0.25;
+    ocean.burstLoadBoost = 1.2;
+    ocean.scientific = true;
+    ocean.dirtySharedFrac = 0.06;
+    ocean.ilpBubbleProb = 0.45;
+    all.push_back(ocean);
+
+    WorkloadProfile sparse;
+    sparse.name = "Sparse";
+    sparse.loadFrac = 0.30;
+    sparse.storeFrac = 0.08;
+    sparse.l1iMissRate = 0.001;
+    sparse.l1dMissRate = 0.065;
+    sparse.l2MissRate = 0.50;
+    sparse.dirtyEvictFrac = 0.30;
+    sparse.burstOnProb = 0.01;
+    sparse.burstOffProb = 0.25;
+    sparse.burstLoadBoost = 1.2;
+    sparse.scientific = true;
+    sparse.dirtySharedFrac = 0.03;
+    sparse.ilpBubbleProb = 0.48;
+    all.push_back(sparse);
+
+    return all;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+standardWorkloads()
+{
+    static const std::vector<WorkloadProfile> all = buildWorkloads();
+    return all;
+}
+
+const WorkloadProfile &
+workloadByName(const std::string &name)
+{
+    for (const WorkloadProfile &w : standardWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    assert(false && "unknown workload");
+    return standardWorkloads().front();
+}
+
+} // namespace tdc

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "array/fault.hh"
+#include "array/march_test.hh"
+#include "array/spare_repair.hh"
+#include "common/rng.hh"
+
+namespace tdc
+{
+namespace
+{
+
+TEST(MarchTest, CleanArrayReportsNoFaults)
+{
+    MemoryArray arr(32, 64);
+    MarchTest bist(arr);
+    const MarchResult res = bist.run();
+    EXPECT_TRUE(res.clean());
+    // 10N operations: 6 elements, 4 of which do read+write, one
+    // write-only, one read-only.
+    EXPECT_EQ(res.operations, 10ull * 32 * 64);
+}
+
+TEST(MarchTest, DetectsEveryStuckAtFault)
+{
+    Rng rng(1);
+    MemoryArray arr(16, 32);
+    FaultInjector inj(rng);
+    const FaultEvent ev = inj.injectRandomHardFaults(arr, 10);
+
+    MarchTest bist(arr);
+    const MarchResult res = bist.run();
+    ASSERT_EQ(res.faults.size(), 10u);
+    // Every injected cell appears in the fault map.
+    for (auto [r, c] : ev.cells) {
+        bool found = false;
+        for (const MarchFault &f : res.faults)
+            found |= f.row == r && f.col == c;
+        EXPECT_TRUE(found) << r << "," << c;
+    }
+}
+
+TEST(MarchTest, DetectsStuckAtBothPolarities)
+{
+    MemoryArray arr(8, 8);
+    arr.addStuckAt(2, 3, true);  // stuck-at-1
+    arr.addStuckAt(5, 6, false); // stuck-at-0
+    MarchTest bist(arr);
+    const MarchResult res = bist.run();
+    ASSERT_EQ(res.faults.size(), 2u);
+}
+
+TEST(MarchTest, IsDestructiveButLeavesZeros)
+{
+    MemoryArray arr(4, 16);
+    arr.writeRow(0, BitVector(16, 0xFFFF));
+    MarchTest bist(arr);
+    bist.run();
+    for (size_t r = 0; r < 4; ++r)
+        EXPECT_TRUE(arr.readRow(r).none());
+}
+
+TEST(SpareRepair, NoFaultsNoSparesUsed)
+{
+    SpareRepair repair(4, 4);
+    const RepairPlan plan = repair.solve({});
+    EXPECT_TRUE(plan.success());
+    EXPECT_TRUE(plan.rowsReplaced.empty());
+    EXPECT_TRUE(plan.colsReplaced.empty());
+}
+
+TEST(SpareRepair, SingleFaultUsesOneSpare)
+{
+    SpareRepair repair(2, 2);
+    const RepairPlan plan = repair.solve({{5, 9, true}});
+    EXPECT_TRUE(plan.success());
+    EXPECT_EQ(plan.rowsReplaced.size() + plan.colsReplaced.size(), 1u);
+}
+
+TEST(SpareRepair, RowFailureForcesSpareRow)
+{
+    // 8 faults in one row with only 2 spare columns: must-repair
+    // picks a spare row.
+    SpareRepair repair(1, 2);
+    std::vector<MarchFault> faults;
+    for (size_t c = 0; c < 8; ++c)
+        faults.push_back({3, c * 4, true});
+    const RepairPlan plan = repair.solve(faults);
+    EXPECT_TRUE(plan.success());
+    ASSERT_EQ(plan.rowsReplaced.size(), 1u);
+    EXPECT_EQ(plan.rowsReplaced[0], 3u);
+}
+
+TEST(SpareRepair, ColumnFailureForcesSpareColumn)
+{
+    SpareRepair repair(2, 1);
+    std::vector<MarchFault> faults;
+    for (size_t r = 0; r < 8; ++r)
+        faults.push_back({r, 17, true});
+    const RepairPlan plan = repair.solve(faults);
+    EXPECT_TRUE(plan.success());
+    ASSERT_EQ(plan.colsReplaced.size(), 1u);
+    EXPECT_EQ(plan.colsReplaced[0], 17u);
+}
+
+TEST(SpareRepair, CrossPatternNeedsBoth)
+{
+    // A full row and a full column of faults: one spare of each.
+    SpareRepair repair(1, 1);
+    std::vector<MarchFault> faults;
+    for (size_t c = 0; c < 16; ++c)
+        faults.push_back({4, c, true});
+    for (size_t r = 0; r < 16; ++r)
+        if (r != 4)
+            faults.push_back({r, 9, true});
+    const RepairPlan plan = repair.solve(faults);
+    EXPECT_TRUE(plan.success());
+    EXPECT_EQ(plan.rowsReplaced.size(), 1u);
+    EXPECT_EQ(plan.colsReplaced.size(), 1u);
+}
+
+TEST(SpareRepair, ReportsUnrepairableHonestly)
+{
+    // More scattered faulty rows than spares.
+    SpareRepair repair(2, 0);
+    std::vector<MarchFault> faults = {
+        {1, 5, true}, {3, 9, true}, {7, 2, true}, {11, 30, true}};
+    const RepairPlan plan = repair.solve(faults);
+    EXPECT_FALSE(plan.success());
+    EXPECT_EQ(plan.unrepaired.size(), 2u);
+}
+
+TEST(SpareRepair, EccAbsorbsSingleBitWords)
+{
+    // Section 5.2: with in-line SECDED, only words holding >= 2
+    // faults consume spares. 6 scattered single-bit faults in
+    // distinct 64-bit words need zero spares.
+    SpareRepair repair(1, 1);
+    std::vector<MarchFault> faults;
+    for (size_t i = 0; i < 6; ++i)
+        faults.push_back({i * 3, i * 64 + (i * 13) % 64, true});
+    const RepairPlan no_ecc = repair.solve(faults);
+    EXPECT_FALSE(no_ecc.success()); // 6 lines, 2 spares
+
+    const RepairPlan with_ecc = repair.solveWithEcc(faults, 64);
+    EXPECT_TRUE(with_ecc.success());
+    EXPECT_TRUE(with_ecc.rowsReplaced.empty());
+    EXPECT_TRUE(with_ecc.colsReplaced.empty());
+}
+
+TEST(SpareRepair, EccPlusSparesCoversMultiBitWords)
+{
+    SpareRepair repair(1, 0);
+    // One word with a double fault + three single-fault words.
+    std::vector<MarchFault> faults = {
+        {2, 10, true}, {2, 30, true}, // same 64-bit word, row 2
+        {5, 100, true},
+        {9, 200, true},
+        {12, 300, true},
+    };
+    const RepairPlan plan = repair.solveWithEcc(faults, 64);
+    EXPECT_TRUE(plan.success());
+    ASSERT_EQ(plan.rowsReplaced.size(), 1u);
+    EXPECT_EQ(plan.rowsReplaced[0], 2u);
+}
+
+TEST(BistBisr, EndToEndManufactureFlow)
+{
+    // Full manufacture-time flow: inject hard faults, march-test,
+    // repair with ECC synergy, verify the plan covers every multi-bit
+    // word.
+    Rng rng(9);
+    MemoryArray arr(64, 256);
+    FaultInjector inj(rng);
+    inj.injectRandomHardFaults(arr, 30);
+
+    MarchTest bist(arr);
+    const MarchResult tested = bist.run();
+    EXPECT_EQ(tested.faults.size(), 30u);
+
+    SpareRepair repair(4, 4);
+    const RepairPlan plan = repair.solveWithEcc(tested.faults, 64);
+    EXPECT_TRUE(plan.success());
+}
+
+} // namespace
+} // namespace tdc

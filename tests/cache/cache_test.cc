@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+
+namespace tdc
+{
+namespace
+{
+
+TEST(CacheParams, Table1Geometries)
+{
+    const CacheParams l1 = CacheParams::l1();
+    EXPECT_EQ(l1.numSets(), 512u);
+    EXPECT_EQ(l1.numLines(), 1024u);
+
+    const CacheParams l2f = CacheParams::l2Fat();
+    EXPECT_EQ(l2f.numLines(), 262144u);
+    EXPECT_EQ(l2f.associativity, 8u);
+
+    const CacheParams l2l = CacheParams::l2Lean();
+    EXPECT_EQ(l2l.numLines(), 65536u);
+    EXPECT_EQ(l2l.associativity, 16u);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(CacheParams::l1());
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1020, false).hit); // same 64B line
+    EXPECT_FALSE(c.access(0x2000, false).hit);
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    CacheParams p;
+    p.capacityBytes = 4 * 64; // 2 sets x 2 ways
+    p.associativity = 2;
+    p.lineBytes = 64;
+    Cache c(p);
+
+    // Three lines mapping to set 0 (set stride = 2 lines = 128B).
+    const uint64_t a = 0 * 128, b = 1 * 128 + 0, cc = 2 * 128;
+    // a, b, c all map to set 0? set = (addr/64) % 2: a->0, b->0? 128/64=2 %2=0 yes.
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, false); // a is now MRU
+    const CacheAccessOutcome out = c.access(cc, false);
+    EXPECT_FALSE(out.hit);
+    EXPECT_TRUE(out.evicted);
+    EXPECT_EQ(out.evictedAddr, b); // b was LRU
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+}
+
+TEST(Cache, WriteBackDirtyEviction)
+{
+    CacheParams p;
+    p.capacityBytes = 2 * 64; // 1 set x 2 ways
+    p.associativity = 2;
+    p.lineBytes = 64;
+    Cache c(p);
+
+    c.access(0, true); // dirty
+    c.access(64, false);
+    const CacheAccessOutcome out = c.access(128, false); // evicts line 0
+    EXPECT_TRUE(out.evicted);
+    EXPECT_TRUE(out.evictedDirty);
+    EXPECT_EQ(out.evictedAddr, 0u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, WriteThroughNeverDirty)
+{
+    CacheParams p;
+    p.capacityBytes = 2 * 64;
+    p.associativity = 2;
+    p.lineBytes = 64;
+    p.writeBack = false;
+    Cache c(p);
+    c.access(0, true);
+    c.access(64, true);
+    const CacheAccessOutcome out = c.access(128, false);
+    EXPECT_TRUE(out.evicted);
+    EXPECT_FALSE(out.evictedDirty);
+    EXPECT_EQ(c.writebacks(), 0u);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(CacheParams::l1());
+    c.access(0x5000, true);
+    bool dirty = false;
+    EXPECT_TRUE(c.invalidate(0x5000, &dirty));
+    EXPECT_TRUE(dirty);
+    EXPECT_FALSE(c.contains(0x5000));
+    EXPECT_FALSE(c.invalidate(0x5000));
+}
+
+TEST(Cache, OccupancyGrowsToCapacity)
+{
+    CacheParams p;
+    p.capacityBytes = 8 * 64;
+    p.associativity = 2;
+    p.lineBytes = 64;
+    Cache c(p);
+    for (uint64_t i = 0; i < 100; ++i)
+        c.access(i * 64, false);
+    EXPECT_EQ(c.occupancy(), 8u);
+}
+
+TEST(Cache, HitRateOnLoopingWorkingSet)
+{
+    // A working set that fits must converge to ~100% hit rate.
+    Cache c(CacheParams::l1());
+    for (int pass = 0; pass < 10; ++pass)
+        for (uint64_t a = 0; a < 32 * 1024; a += 64)
+            c.access(a, false);
+    EXPECT_GT(c.hitRate(), 0.89);
+    c.resetStats();
+    for (uint64_t a = 0; a < 32 * 1024; a += 64)
+        c.access(a, false);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 1.0);
+}
+
+TEST(Cache, ThrashingWorkingSetMissesHard)
+{
+    // A streaming footprint 4x the capacity re-misses every pass.
+    Cache c(CacheParams::l1());
+    for (int pass = 0; pass < 4; ++pass)
+        for (uint64_t a = 0; a < 256 * 1024; a += 64)
+            c.access(a, false);
+    EXPECT_LT(c.hitRate(), 0.01);
+}
+
+TEST(Cache, SetIndexingIsConflictAccurate)
+{
+    // Lines separated by exactly numSets*lineBytes conflict; others
+    // don't.
+    const CacheParams p = CacheParams::l1(); // 512 sets, 2 ways
+    Cache c(p);
+    const uint64_t stride = p.numSets() * p.lineBytes;
+    c.access(0, false);
+    c.access(stride, false);
+    c.access(2 * stride, false); // evicts addr 0
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(c.contains(stride));
+    EXPECT_TRUE(c.contains(2 * stride));
+    // A line in a different set is untouched by this.
+    c.access(64, false);
+    EXPECT_TRUE(c.contains(64));
+}
+
+} // namespace
+} // namespace tdc

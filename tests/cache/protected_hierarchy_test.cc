@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "array/fault.hh"
+#include "cache/protected_hierarchy.hh"
+#include "common/rng.hh"
+
+namespace tdc
+{
+namespace
+{
+
+CacheParams
+smallL1()
+{
+    CacheParams p;
+    p.capacityBytes = 8 * 1024; // 128 lines
+    p.associativity = 2;
+    p.lineBytes = 64;
+    p.name = "L1";
+    return p;
+}
+
+CacheParams
+smallL2()
+{
+    CacheParams p;
+    p.capacityBytes = 32 * 1024; // 512 lines
+    p.associativity = 4;
+    p.lineBytes = 64;
+    p.name = "L2";
+    return p;
+}
+
+TwoDimConfig
+bankConfig()
+{
+    TwoDimConfig cfg = TwoDimConfig::l1Default();
+    cfg.dataRows = 64;
+    cfg.verticalParityRows = 8;
+    return cfg;
+}
+
+LineData
+patternLine(Rng &rng)
+{
+    LineData line;
+    for (auto &w : line.words)
+        w = rng.next();
+    return line;
+}
+
+TEST(ProtectedHierarchy, ReadsReturnWhatWasWritten)
+{
+    Rng rng(1);
+    ProtectedCacheHierarchy h(smallL1(), smallL2(), bankConfig(),
+                              bankConfig());
+    std::map<uint64_t, LineData> shadow;
+    // Working set larger than L1 but within L2.
+    for (int step = 0; step < 3000; ++step) {
+        const uint64_t addr = rng.nextBelow(256) * 64;
+        if (rng.nextBool(0.4)) {
+            const LineData d = patternLine(rng);
+            h.writeLine(addr, d);
+            shadow[addr] = d;
+        } else if (shadow.count(addr)) {
+            ASSERT_EQ(h.readLine(addr), shadow[addr]) << "step " << step;
+        }
+    }
+    EXPECT_GT(h.stats().l1Misses, 0u);
+    EXPECT_GT(h.stats().writebacksToL2, 0u);
+}
+
+TEST(ProtectedHierarchy, SurvivesWorkingSetBeyondL2)
+{
+    // Lines spill all the way to memory and come back intact.
+    Rng rng(2);
+    ProtectedCacheHierarchy h(smallL1(), smallL2(), bankConfig(),
+                              bankConfig());
+    std::map<uint64_t, LineData> shadow;
+    for (uint64_t i = 0; i < 1024; ++i) { // 2x the L2 line count
+        const uint64_t addr = i * 64;
+        const LineData d = patternLine(rng);
+        h.writeLine(addr, d);
+        shadow[addr] = d;
+    }
+    for (auto &[addr, d] : shadow)
+        ASSERT_EQ(h.readLine(addr), d);
+    EXPECT_GT(h.stats().writebacksToMemory, 0u);
+    EXPECT_EQ(h.stats().dataLossEvents, 0u);
+}
+
+TEST(ProtectedHierarchy, ClusterInL1StoreIsTransparent)
+{
+    Rng rng(3);
+    ProtectedCacheHierarchy h(smallL1(), smallL2(), bankConfig(),
+                              bankConfig());
+    std::map<uint64_t, LineData> shadow;
+    for (uint64_t i = 0; i < 128; ++i) {
+        const uint64_t addr = i * 64;
+        const LineData d = patternLine(rng);
+        h.writeLine(addr, d);
+        shadow[addr] = d;
+    }
+    // A 32x8 solid cluster hits one L1 data bank.
+    FaultInjector inj(rng);
+    inj.injectCluster(h.l1Data().bank(0).cells(), 32, 8, 1.0);
+
+    // All lines still read correctly: recovery runs inside readWord.
+    for (auto &[addr, d] : shadow)
+        ASSERT_EQ(h.readLine(addr), d);
+    EXPECT_EQ(h.stats().dataLossEvents, 0u);
+}
+
+TEST(ProtectedHierarchy, ClusterInL2StoreIsTransparent)
+{
+    Rng rng(4);
+    ProtectedCacheHierarchy h(smallL1(), smallL2(), bankConfig(),
+                              bankConfig());
+    std::map<uint64_t, LineData> shadow;
+    // Fill past L1 so much of the data lives only in L2.
+    for (uint64_t i = 0; i < 400; ++i) {
+        const uint64_t addr = i * 64;
+        const LineData d = patternLine(rng);
+        h.writeLine(addr, d);
+        shadow[addr] = d;
+    }
+    FaultInjector inj(rng);
+    inj.injectCluster(h.l2Data().bank(1).cells(), 32, 8, 1.0);
+    ASSERT_TRUE(h.scrubAll());
+    for (auto &[addr, d] : shadow)
+        ASSERT_EQ(h.readLine(addr), d);
+}
+
+TEST(ProtectedHierarchy, PeriodicScrubUnderFaultStream)
+{
+    Rng rng(5);
+    ProtectedCacheHierarchy h(smallL1(), smallL2(), bankConfig(),
+                              bankConfig());
+    FaultInjector inj(rng);
+    std::map<uint64_t, LineData> shadow;
+    for (int step = 0; step < 2000; ++step) {
+        const uint64_t addr = rng.nextBelow(300) * 64;
+        if (rng.nextBool(0.5)) {
+            const LineData d = patternLine(rng);
+            h.writeLine(addr, d);
+            shadow[addr] = d;
+        } else if (shadow.count(addr)) {
+            ASSERT_EQ(h.readLine(addr), shadow[addr]) << "step " << step;
+        }
+        if (step % 250 == 100) {
+            // In-coverage events in both levels, then scrub.
+            inj.injectCluster(
+                h.l1Data().bank(rng.nextBelow(h.l1Data().banks())).cells(),
+                16, 4, 1.0);
+            inj.injectCluster(
+                h.l2Data().bank(rng.nextBelow(h.l2Data().banks())).cells(),
+                16, 4, 1.0);
+            ASSERT_TRUE(h.scrubAll()) << "step " << step;
+        }
+    }
+    EXPECT_EQ(h.stats().dataLossEvents, 0u);
+}
+
+TEST(ProtectedHierarchy, StatsAreCoherent)
+{
+    Rng rng(6);
+    ProtectedCacheHierarchy h(smallL1(), smallL2(), bankConfig(),
+                              bankConfig());
+    for (uint64_t i = 0; i < 64; ++i)
+        h.writeLine(i * 64, patternLine(rng));
+    for (uint64_t i = 0; i < 64; ++i)
+        h.readLine(i * 64);
+    const HierarchyStats &s = h.stats();
+    EXPECT_EQ(s.reads, 64u);
+    EXPECT_EQ(s.writes, 64u);
+    EXPECT_EQ(s.l1Hits + s.l1Misses, 128u);
+    // Working set fits in L1: reads all hit.
+    EXPECT_EQ(s.l1Hits, 64u + 0u + 64u - s.l1Misses);
+}
+
+} // namespace
+} // namespace tdc

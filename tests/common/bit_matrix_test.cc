@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "common/bit_matrix.hh"
+#include "common/rng.hh"
+
+namespace tdc
+{
+namespace
+{
+
+TEST(BitMatrix, Dimensions)
+{
+    BitMatrix m(16, 256);
+    EXPECT_EQ(m.rows(), 16u);
+    EXPECT_EQ(m.cols(), 256u);
+    EXPECT_EQ(m.popcount(), 0u);
+}
+
+TEST(BitMatrix, SetGetFlip)
+{
+    BitMatrix m(4, 4);
+    m.set(2, 3, true);
+    EXPECT_TRUE(m.get(2, 3));
+    EXPECT_FALSE(m.get(3, 2));
+    m.flip(2, 3);
+    EXPECT_FALSE(m.get(2, 3));
+    m.flip(0, 0);
+    EXPECT_TRUE(m.get(0, 0));
+}
+
+TEST(BitMatrix, RowAccess)
+{
+    BitMatrix m(3, 8);
+    BitVector r(8, 0b1101);
+    m.setRow(1, r);
+    EXPECT_EQ(m.row(1), r);
+    EXPECT_TRUE(m.get(1, 0));
+    EXPECT_FALSE(m.get(1, 1));
+    EXPECT_TRUE(m.get(1, 3));
+}
+
+TEST(BitMatrix, ColumnExtractAndSet)
+{
+    BitMatrix m(8, 3);
+    BitVector c(8, 0b10110010);
+    m.setColumn(2, c);
+    EXPECT_EQ(m.column(2), c);
+    EXPECT_EQ(m.column(0).popcount(), 0u);
+    EXPECT_TRUE(m.get(1, 2));
+    EXPECT_TRUE(m.get(7, 2));
+}
+
+TEST(BitMatrix, RowColumnConsistency)
+{
+    Rng rng(99);
+    BitMatrix m(32, 64);
+    for (size_t r = 0; r < m.rows(); ++r)
+        for (size_t c = 0; c < m.cols(); ++c)
+            m.set(r, c, rng.nextBool());
+    // column(c).get(r) must agree with row(r).get(c) everywhere.
+    for (size_t c = 0; c < m.cols(); ++c) {
+        BitVector col = m.column(c);
+        for (size_t r = 0; r < m.rows(); ++r)
+            ASSERT_EQ(col.get(r), m.row(r).get(c));
+    }
+}
+
+TEST(BitMatrix, ClearAndPopcount)
+{
+    BitMatrix m(5, 5);
+    for (size_t i = 0; i < 5; ++i)
+        m.set(i, i, true);
+    EXPECT_EQ(m.popcount(), 5u);
+    m.clear();
+    EXPECT_EQ(m.popcount(), 0u);
+}
+
+TEST(BitMatrix, Equality)
+{
+    BitMatrix a(2, 2);
+    BitMatrix b(2, 2);
+    EXPECT_EQ(a, b);
+    a.set(0, 1, true);
+    EXPECT_NE(a, b);
+    b.set(0, 1, true);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace tdc

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace tdc
+{
+namespace
+{
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(7), 7u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues)
+{
+    Rng rng(6);
+    int seen[5] = {};
+    for (int i = 0; i < 1000; ++i)
+        ++seen[rng.nextBelow(5)];
+    for (int count : seen)
+        EXPECT_GT(count, 100); // ~200 expected per bucket
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(8);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMean)
+{
+    Rng rng(10);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i)
+        sum += rng.nextExponential(2.0);
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, PoissonSmallMean)
+{
+    Rng rng(12);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i)
+        sum += double(rng.nextPoisson(3.5));
+    EXPECT_NEAR(sum / 20000.0, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 5000; ++i)
+        sum += double(rng.nextPoisson(500.0));
+    EXPECT_NEAR(sum / 5000.0, 500.0, 3.0);
+}
+
+TEST(Rng, PoissonZeroMean)
+{
+    Rng rng(14);
+    EXPECT_EQ(rng.nextPoisson(0.0), 0u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(15);
+    double sum = 0, sumsq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sumsq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace tdc

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace tdc
+{
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue)
+{
+    RunningStat s;
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 4.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 4.0);
+    EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, NegativeValues)
+{
+    RunningStat s;
+    s.add(-5.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), -5.0);
+    EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(StatGroup, IncrementCreatesAndAdds)
+{
+    StatGroup g;
+    g.inc("reads");
+    g.inc("reads", 4);
+    g.inc("writes", 2);
+    EXPECT_EQ(g.get("reads"), 5u);
+    EXPECT_EQ(g.get("writes"), 2u);
+    EXPECT_EQ(g.get("absent"), 0u);
+}
+
+TEST(StatGroup, SetOverrides)
+{
+    StatGroup g;
+    g.inc("x", 10);
+    g.set("x", 3);
+    EXPECT_EQ(g.get("x"), 3u);
+}
+
+TEST(StatGroup, PreservesInsertionOrder)
+{
+    StatGroup g;
+    g.inc("b");
+    g.inc("a");
+    g.inc("c");
+    const auto &e = g.entries();
+    ASSERT_EQ(e.size(), 3u);
+    EXPECT_EQ(e[0].first, "b");
+    EXPECT_EQ(e[1].first, "a");
+    EXPECT_EQ(e[2].first, "c");
+}
+
+TEST(StatGroup, ClearZeroesButKeepsNames)
+{
+    StatGroup g;
+    g.inc("n", 7);
+    g.clear();
+    EXPECT_EQ(g.get("n"), 0u);
+    EXPECT_EQ(g.entries().size(), 1u);
+}
+
+} // namespace
+} // namespace tdc

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace tdc
+{
+namespace
+{
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(0.125, 1), "12.5%");
+    EXPECT_EQ(Table::pct(0.891, 1), "89.1%");
+}
+
+TEST(Table, RenderContainsHeaderAndCells)
+{
+    Table t({"scheme", "overhead"});
+    t.addRow({"SECDED", "12.5%"});
+    t.addRow({"OECNED", "89.1%"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("scheme"), std::string::npos);
+    EXPECT_NE(out.find("overhead"), std::string::npos);
+    EXPECT_NE(out.find("SECDED"), std::string::npos);
+    EXPECT_NE(out.find("89.1%"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"only"});
+    EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t({"x", "yyyy"});
+    t.addRow({"long-cell", "1"});
+    const std::string out = t.render();
+    // Header line and data line must be equally long (aligned table).
+    const size_t first_nl = out.find('\n');
+    const size_t second_nl = out.find('\n', first_nl + 1);
+    const size_t third_nl = out.find('\n', second_nl + 1);
+    const std::string header = out.substr(0, first_nl);
+    const std::string data =
+        out.substr(second_nl + 1, third_nl - second_nl - 1);
+    EXPECT_EQ(header.size(), data.size());
+}
+
+} // namespace
+} // namespace tdc

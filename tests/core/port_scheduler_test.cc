@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/port_scheduler.hh"
+
+namespace tdc
+{
+namespace
+{
+
+TEST(PortScheduler, DemandWithinBandwidthHasNoDelay)
+{
+    PortScheduler ps(2, 0);
+    for (uint64_t c = 0; c < 10; ++c) {
+        ps.advanceTo(c);
+        EXPECT_EQ(ps.issueDemand(), 0u);
+        EXPECT_EQ(ps.issueDemand(), 0u);
+    }
+    EXPECT_EQ(ps.totalDelay(), 0u);
+    EXPECT_EQ(ps.demandIssued(), 20u);
+}
+
+TEST(PortScheduler, OversubscriptionSpillsToNextCycle)
+{
+    PortScheduler ps(1, 0);
+    ps.advanceTo(0);
+    EXPECT_EQ(ps.issueDemand(), 0u); // fills cycle 0
+    EXPECT_EQ(ps.issueDemand(), 1u); // spills to cycle 1
+    EXPECT_EQ(ps.issueDemand(), 2u); // spills to cycle 2
+    EXPECT_EQ(ps.totalDelay(), 3u);
+}
+
+TEST(PortScheduler, BacklogDrainsOverTime)
+{
+    PortScheduler ps(1, 0);
+    ps.advanceTo(0);
+    ps.issueDemand();
+    ps.issueDemand(); // backlog 1 cycle deep
+    ps.advanceTo(5);  // plenty of idle time elapses
+    EXPECT_EQ(ps.issueDemand(), 0u);
+}
+
+TEST(PortScheduler, NoStealingChargesEveryRead)
+{
+    PortScheduler ps(1, 0);
+    ps.advanceTo(0);
+    EXPECT_EQ(ps.issueStolenRead(), 1u);
+    EXPECT_EQ(ps.stolenCharged(), 1u);
+    EXPECT_EQ(ps.stolenAbsorbed(), 0u);
+    EXPECT_EQ(ps.stealEfficiency(), 0.0);
+}
+
+TEST(PortScheduler, StealingAbsorbsIntoIdleSlots)
+{
+    // One port, idle cycles 0..9, then a burst of stolen reads at 10:
+    // the window holds 8 idle slots, so 8 reads are free.
+    PortScheduler ps(1, 8);
+    ps.advanceTo(10); // cycles 0..9 idle
+    unsigned charged = 0;
+    for (int i = 0; i < 10; ++i)
+        charged += ps.issueStolenRead();
+    EXPECT_EQ(ps.stolenAbsorbed(), 8u);
+    EXPECT_EQ(charged, 2u);
+    EXPECT_NEAR(ps.stealEfficiency(), 0.8, 1e-9);
+}
+
+TEST(PortScheduler, BusyPortLeavesNothingToSteal)
+{
+    PortScheduler ps(1, 8);
+    for (uint64_t c = 0; c < 8; ++c) {
+        ps.advanceTo(c);
+        ps.issueDemand(); // saturate every cycle
+    }
+    ps.advanceTo(8);
+    EXPECT_EQ(ps.issueStolenRead(), 1u);
+    EXPECT_EQ(ps.stolenAbsorbed(), 0u);
+}
+
+TEST(PortScheduler, WindowLimitsHowFarBackStealingSees)
+{
+    // Idle at cycles 0..1, then saturated 2..9: a window of 4 only
+    // remembers the busy cycles.
+    PortScheduler ps(1, 4);
+    ps.advanceTo(2);
+    for (uint64_t c = 2; c < 10; ++c) {
+        ps.advanceTo(c);
+        ps.issueDemand();
+    }
+    ps.advanceTo(10);
+    EXPECT_EQ(ps.issueStolenRead(), 1u); // old idle slots expired
+}
+
+TEST(PortScheduler, MultiPortIdleSlotsAccumulate)
+{
+    PortScheduler ps(2, 16);
+    // One demand per cycle leaves one idle slot per cycle.
+    for (uint64_t c = 0; c < 6; ++c) {
+        ps.advanceTo(c);
+        ps.issueDemand();
+    }
+    ps.advanceTo(6);
+    unsigned absorbed = 0;
+    for (int i = 0; i < 6; ++i)
+        absorbed += ps.issueStolenRead() == 0 ? 1 : 0;
+    EXPECT_EQ(absorbed, 6u);
+}
+
+TEST(PortScheduler, ChargedStolenReadOccupiesARealSlot)
+{
+    PortScheduler ps(1, 0);
+    ps.advanceTo(0);
+    ps.issueStolenRead();             // takes cycle 0
+    EXPECT_EQ(ps.issueDemand(), 1u);  // demand pushed to cycle 1
+}
+
+} // namespace
+} // namespace tdc

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "ecc/cost_model.hh"
+
+namespace tdc
+{
+namespace
+{
+
+TEST(CostModel, StorageOverheadMatchesPaperFigure1b)
+{
+    // Figure 1(b): extra memory storage for 64-bit words.
+    EXPECT_DOUBLE_EQ(codingCost(CodeKind::kEdc8, 64).storageOverhead,
+                     8.0 / 64.0); // 12.5%
+    EXPECT_DOUBLE_EQ(codingCost(CodeKind::kSecDed, 64).storageOverhead,
+                     8.0 / 64.0); // 12.5%
+    EXPECT_DOUBLE_EQ(codingCost(CodeKind::kDecTed, 64).storageOverhead,
+                     15.0 / 64.0);
+    EXPECT_DOUBLE_EQ(codingCost(CodeKind::kQecPed, 64).storageOverhead,
+                     29.0 / 64.0);
+    // OECNED on 64b: 57/64 = 89.06% -> the "89.1%" in Figure 3(b).
+    EXPECT_NEAR(codingCost(CodeKind::kOecNed, 64).storageOverhead, 0.891,
+                0.001);
+}
+
+TEST(CostModel, WiderWordsAmortizeCheckBits)
+{
+    // Figure 1(b): 256-bit words pay relatively less for every code.
+    for (CodeKind kind : kFigure1Kinds) {
+        EXPECT_LT(codingCost(kind, 256).storageOverhead,
+                  codingCost(kind, 64).storageOverhead)
+            << codeKindName(kind);
+    }
+}
+
+TEST(CostModel, LatencyOrderingMatchesStrength)
+{
+    // Detection latency must be monotonically non-decreasing in code
+    // strength for a fixed word size (Figure 7 middle bars).
+    const auto edc = codingCost(CodeKind::kEdc8, 64);
+    const auto sec = codingCost(CodeKind::kSecDed, 64);
+    const auto dec = codingCost(CodeKind::kDecTed, 64);
+    const auto oec = codingCost(CodeKind::kOecNed, 64);
+    EXPECT_LE(edc.detectLevels, sec.detectLevels);
+    EXPECT_LE(sec.detectLevels, dec.detectLevels + dec.correctLevels);
+    EXPECT_LT(dec.detectLevels + dec.correctLevels,
+              oec.detectLevels + oec.correctLevels);
+}
+
+TEST(CostModel, Edc8MatchesByteParityLatency)
+{
+    // The paper's argument for EDC8 in L1: same latency class as byte
+    // parity (XOR over 8 bits + small OR), no correction stage.
+    const auto edc8 = codingCost(CodeKind::kEdc8, 64);
+    EXPECT_EQ(edc8.encodeLevels, 3u); // log2(8)
+    EXPECT_EQ(edc8.correctLevels, 0u);
+}
+
+TEST(CostModel, EnergyGrowsWithStrength)
+{
+    const auto sec = codingCost(CodeKind::kSecDed, 64);
+    const auto dec = codingCost(CodeKind::kDecTed, 64);
+    const auto qec = codingCost(CodeKind::kQecPed, 64);
+    const auto oec = codingCost(CodeKind::kOecNed, 64);
+    EXPECT_LT(sec.detectGates, dec.detectGates);
+    EXPECT_LT(dec.detectGates, qec.detectGates);
+    EXPECT_LT(qec.detectGates, oec.detectGates);
+}
+
+TEST(CostModel, CheckBitsOfConvenience)
+{
+    EXPECT_EQ(checkBitsOf(CodeKind::kSecDed, 64), 8u);
+    EXPECT_EQ(checkBitsOf(CodeKind::kSecDed, 256), 10u);
+    EXPECT_EQ(checkBitsOf(CodeKind::kOecNed, 64), 57u);
+}
+
+TEST(CostModel, DataBitsRecorded)
+{
+    const auto c = codingCost(CodeKind::kDecTed, 128);
+    EXPECT_EQ(c.dataBits, 128u);
+    EXPECT_EQ(c.checkBits, 17u); // GF(2^8): 2*8 inner + 1 extended parity
+}
+
+} // namespace
+} // namespace tdc

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Exhaustive small-geometry sweeps: stronger evidence than sampling
+ * for the guarantees the larger randomized tests rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/bch.hh"
+#include "ecc/hsiao.hh"
+
+namespace tdc
+{
+namespace
+{
+
+TEST(Exhaustive, DectedCorrectsEveryDoublePattern16)
+{
+    // Every possible 2-bit error pattern on a (16, t=2) extended BCH
+    // codeword — no sampling.
+    ExtendedBchCode code(16, 2, "DECTED");
+    Rng rng(1);
+    const BitVector data(16, rng.next());
+    const BitVector cw = code.encode(data);
+    const size_t n = cw.size();
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+            BitVector bad = cw;
+            bad.flip(i);
+            bad.flip(j);
+            DecodeResult res = code.decode(bad);
+            ASSERT_TRUE(res.corrected()) << i << "," << j;
+            ASSERT_EQ(res.data, data) << i << "," << j;
+        }
+    }
+}
+
+TEST(Exhaustive, DectedDetectsEveryTriplePattern8)
+{
+    // Every 3-bit pattern on a tiny (8, t=2) code must be flagged,
+    // never miscorrected into clean or silently accepted.
+    ExtendedBchCode code(8, 2, "DECTED");
+    Rng rng(2);
+    const BitVector data(8, rng.next());
+    const BitVector cw = code.encode(data);
+    const size_t n = cw.size();
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+            for (size_t k = j + 1; k < n; ++k) {
+                BitVector bad = cw;
+                bad.flip(i);
+                bad.flip(j);
+                bad.flip(k);
+                DecodeResult res = code.decode(bad);
+                ASSERT_TRUE(res.uncorrectable())
+                    << i << "," << j << "," << k;
+            }
+        }
+    }
+}
+
+TEST(Exhaustive, SecdedEveryCodewordBitPairOn32)
+{
+    // Every single AND double error on (39,32) SECDED, every data
+    // value bit position exercised.
+    HsiaoSecDedCode code(32);
+    Rng rng(3);
+    for (int trial = 0; trial < 3; ++trial) {
+        const BitVector data(32, rng.next());
+        const BitVector cw = code.encode(data);
+        for (size_t i = 0; i < cw.size(); ++i) {
+            BitVector one = cw;
+            one.flip(i);
+            DecodeResult r1 = code.decode(one);
+            ASSERT_TRUE(r1.corrected());
+            ASSERT_EQ(r1.data, data);
+            for (size_t j = i + 1; j < cw.size(); ++j) {
+                BitVector two = one;
+                two.flip(j);
+                ASSERT_TRUE(code.decode(two).uncorrectable())
+                    << i << "," << j;
+            }
+        }
+    }
+}
+
+TEST(Exhaustive, QecpedEveryQuadInOneByte64)
+{
+    // All 4-bit patterns confined to any aligned byte of a 64-bit
+    // QECPED word (the clustered footprints the paper cares about).
+    ExtendedBchCode code(64, 4, "QECPED");
+    Rng rng(4);
+    const BitVector data(64, rng.next());
+    const BitVector cw = code.encode(data);
+    for (size_t byte = 0; byte < 8; ++byte) {
+        const size_t base = byte * 8;
+        for (unsigned mask = 0; mask < 256; ++mask) {
+            if (__builtin_popcount(mask) != 4)
+                continue;
+            BitVector bad = cw;
+            for (size_t b = 0; b < 8; ++b)
+                if (mask & (1u << b))
+                    bad.flip(base + b);
+            DecodeResult res = code.decode(bad);
+            ASSERT_TRUE(res.corrected()) << "byte " << byte << " mask "
+                                         << mask;
+            ASSERT_EQ(res.data, data);
+        }
+    }
+}
+
+TEST(Exhaustive, AllZeroAndAllOneDataWords)
+{
+    // Degenerate data patterns through every code family.
+    for (size_t k : {16u, 64u}) {
+        for (auto make : {+[](size_t kk) -> CodePtr {
+                              return std::make_shared<HsiaoSecDedCode>(kk);
+                          },
+                          +[](size_t kk) -> CodePtr {
+                              return std::make_shared<ExtendedBchCode>(
+                                  kk, 2, "DECTED");
+                          }}) {
+            const CodePtr code = make(k);
+            BitVector zeros(k);
+            BitVector ones(k);
+            for (size_t i = 0; i < k; ++i)
+                ones.set(i, true);
+            for (const BitVector &data : {zeros, ones}) {
+                DecodeResult clean = code->decode(code->encode(data));
+                ASSERT_TRUE(clean.clean());
+                ASSERT_EQ(clean.data, data);
+                BitVector bad = code->encode(data);
+                bad.flip(k / 2);
+                DecodeResult fixed = code->decode(bad);
+                ASSERT_TRUE(fixed.corrected());
+                ASSERT_EQ(fixed.data, data);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace tdc

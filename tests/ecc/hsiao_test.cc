@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/hsiao.hh"
+
+namespace tdc
+{
+namespace
+{
+
+TEST(HsiaoSecDed, PaperGeometries)
+{
+    // The two word widths the paper protects: (72,64) and (266,256).
+    HsiaoSecDedCode l1(64);
+    EXPECT_EQ(l1.checkBits(), 8u);
+    EXPECT_EQ(l1.codewordBits(), 72u);
+
+    HsiaoSecDedCode l2(256);
+    EXPECT_EQ(l2.checkBits(), 10u);
+    EXPECT_EQ(l2.codewordBits(), 266u);
+}
+
+TEST(HsiaoSecDed, CheckBitsForSmallWidths)
+{
+    EXPECT_EQ(HsiaoSecDedCode::checkBitsFor(8), 5u);  // (13,8)
+    EXPECT_EQ(HsiaoSecDedCode::checkBitsFor(16), 6u); // (22,16)
+    EXPECT_EQ(HsiaoSecDedCode::checkBitsFor(32), 7u); // (39,32)
+    EXPECT_EQ(HsiaoSecDedCode::checkBitsFor(48), 7u);
+}
+
+class HsiaoWidthTest : public ::testing::TestWithParam<size_t>
+{
+  protected:
+    HsiaoSecDedCode code{GetParam()};
+};
+
+TEST_P(HsiaoWidthTest, CleanRoundTrip)
+{
+    Rng rng(21);
+    const size_t k = GetParam();
+    for (int trial = 0; trial < 50; ++trial) {
+        BitVector data(k);
+        for (size_t i = 0; i < k; ++i)
+            data.set(i, rng.nextBool());
+        auto result = code.decode(code.encode(data));
+        EXPECT_TRUE(result.clean());
+        EXPECT_EQ(result.data, data);
+    }
+}
+
+TEST_P(HsiaoWidthTest, CorrectsEverySingleBitError)
+{
+    Rng rng(22);
+    const size_t k = GetParam();
+    BitVector data(k);
+    for (size_t i = 0; i < k; ++i)
+        data.set(i, rng.nextBool());
+    BitVector cw = code.encode(data);
+    for (size_t i = 0; i < cw.size(); ++i) {
+        BitVector bad = cw;
+        bad.flip(i);
+        auto result = code.decode(bad);
+        ASSERT_TRUE(result.corrected()) << "bit " << i;
+        EXPECT_EQ(result.data, data) << "bit " << i;
+        ASSERT_EQ(result.correctedPositions.size(), 1u);
+        EXPECT_EQ(result.correctedPositions[0], i);
+    }
+}
+
+TEST_P(HsiaoWidthTest, DetectsEveryDoubleBitError)
+{
+    Rng rng(23);
+    const size_t k = GetParam();
+    BitVector data(k);
+    for (size_t i = 0; i < k; ++i)
+        data.set(i, rng.nextBool());
+    BitVector cw = code.encode(data);
+    const size_t n = cw.size();
+    // Exhaustive for small widths, randomized pairs for wide words.
+    const bool exhaustive = n <= 80;
+    const int random_trials = 2000;
+    auto check_pair = [&](size_t i, size_t j) {
+        BitVector bad = cw;
+        bad.flip(i);
+        bad.flip(j);
+        EXPECT_TRUE(code.decode(bad).uncorrectable())
+            << "pair " << i << "," << j;
+    };
+    if (exhaustive) {
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = i + 1; j < n; ++j)
+                check_pair(i, j);
+    } else {
+        for (int t = 0; t < random_trials; ++t) {
+            const size_t i = rng.nextBelow(n);
+            size_t j;
+            do {
+                j = rng.nextBelow(n);
+            } while (j == i);
+            check_pair(i, j);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HsiaoWidthTest,
+                         ::testing::Values(8, 16, 32, 48, 64, 128, 256));
+
+TEST(HsiaoSecDed, MinDistanceIsFour)
+{
+    HsiaoSecDedCode code(16);
+    EXPECT_EQ(code.minDistance(), 4u);
+}
+
+TEST(HsiaoSecDed, RowWeightsAreBalancedAndCounted)
+{
+    HsiaoSecDedCode code(64);
+    // Hsiao (72,64): total H weight = 64 data columns (mostly weight 3)
+    // + 8 unit check columns.
+    EXPECT_GE(code.totalRowWeight(), 64u * 3 + 8);
+    EXPECT_GE(code.maxRowWeight(), (code.totalRowWeight() + 7) / 8);
+    EXPECT_LT(code.maxRowWeight(), 72u);
+}
+
+TEST(HsiaoSecDed, TripleErrorNeverMiscorrectsSilently)
+{
+    // With d_min = 4, three errors either look like a (wrong) single-
+    // bit correction or are flagged; they must never decode as clean.
+    HsiaoSecDedCode code(32);
+    Rng rng(25);
+    BitVector data(32, 0xCAFEBABE);
+    BitVector cw = code.encode(data);
+    for (int trial = 0; trial < 500; ++trial) {
+        size_t a = rng.nextBelow(cw.size()), b, c;
+        do {
+            b = rng.nextBelow(cw.size());
+        } while (b == a);
+        do {
+            c = rng.nextBelow(cw.size());
+        } while (c == a || c == b);
+        BitVector bad = cw;
+        bad.flip(a);
+        bad.flip(b);
+        bad.flip(c);
+        EXPECT_FALSE(code.decode(bad).clean());
+    }
+}
+
+} // namespace
+} // namespace tdc

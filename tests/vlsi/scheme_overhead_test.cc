@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "vlsi/scheme_overhead.hh"
+
+namespace tdc
+{
+namespace
+{
+
+TEST(SchemeSpec, Labels)
+{
+    EXPECT_EQ(SchemeSpec::conventional(CodeKind::kOecNed, 4).label(),
+              "OECNED+Intv4");
+    EXPECT_EQ(SchemeSpec::twoDim(CodeKind::kEdc8, 4).label(),
+              "2D(EDC8+Intv4,EDC32)");
+    EXPECT_EQ(SchemeSpec::writeThrough(CodeKind::kEdc8, 4).label(),
+              "EDC8+Intv4(Wr-through)");
+}
+
+TEST(SchemeOverhead, TwoDimAreaMatchesFigure3c)
+{
+    // 2D(EDC8+Intv4, EDC32/256 rows): 12.5% horizontal + 12.5%
+    // vertical = 25%.
+    const SchemeOverhead o = evaluateScheme(
+        SchemeSpec::twoDim(CodeKind::kEdc8, 4, 32, 256),
+        CacheGeometry::l1());
+    EXPECT_DOUBLE_EQ(o.codeAreaFraction, 0.25);
+}
+
+TEST(SchemeOverhead, ConventionalAreaIsStorageOnly)
+{
+    const SchemeOverhead o = evaluateScheme(
+        SchemeSpec::conventional(CodeKind::kSecDed, 2),
+        CacheGeometry::l1());
+    EXPECT_DOUBLE_EQ(o.codeAreaFraction, 0.125);
+}
+
+TEST(SchemeOverhead, TwoDimBeatsConventionalMultiBitSchemes)
+{
+    // The Figure 7 headline: for the same 32-bit coverage target, 2D
+    // coding has lower area, latency and power than every
+    // conventional combination.
+    const CacheGeometry l1 = CacheGeometry::l1();
+    const SchemeSpec twod = SchemeSpec::twoDim(CodeKind::kEdc8, 4);
+    const SchemeSpec conv[] = {
+        SchemeSpec::conventional(CodeKind::kDecTed, 16),
+        SchemeSpec::conventional(CodeKind::kQecPed, 8),
+        SchemeSpec::conventional(CodeKind::kOecNed, 4),
+    };
+    const SchemeOverhead o2d = evaluateScheme(twod, l1);
+    for (const SchemeSpec &c : conv) {
+        const SchemeOverhead oc = evaluateScheme(c, l1);
+        EXPECT_LT(o2d.codeAreaFraction, oc.codeAreaFraction)
+            << c.label();
+        EXPECT_LT(o2d.codingLatencyLevels, oc.codingLatencyLevels)
+            << c.label();
+        EXPECT_LT(o2d.dynamicEnergy, oc.dynamicEnergy) << c.label();
+    }
+}
+
+TEST(SchemeOverhead, TwoDimNearBaselineSecded)
+{
+    // Paper: the extra area of 2D vs baseline SECDED+Intv2 is only a
+    // few percentage points of data storage (5-6%), and power stays
+    // in the same ballpark rather than the 3-5x of strong ECC.
+    const CacheGeometry l1 = CacheGeometry::l1();
+    const NormalizedOverhead n = normalizeScheme(
+        SchemeSpec::twoDim(CodeKind::kEdc8, 4),
+        SchemeSpec::conventional(CodeKind::kSecDed, 2), l1);
+    EXPECT_LT(n.area, 2.5);  // 25% vs 12.5% fraction -> 2x
+    EXPECT_LE(n.latency, 1.0); // detection-only path is not slower
+    EXPECT_LT(n.power, 2.0);
+
+    const NormalizedOverhead oec = normalizeScheme(
+        SchemeSpec::conventional(CodeKind::kOecNed, 4),
+        SchemeSpec::conventional(CodeKind::kSecDed, 2), l1);
+    EXPECT_GT(oec.power, 2.0); // conventional strong ECC blows up
+    EXPECT_GT(oec.area, 5.0);
+}
+
+TEST(SchemeOverhead, WriteThroughBurnsPowerToSaveArea)
+{
+    const CacheGeometry l1 = CacheGeometry::l1();
+    const SchemeOverhead wt = evaluateScheme(
+        SchemeSpec::writeThrough(CodeKind::kEdc8, 4), l1);
+    const SchemeOverhead twod = evaluateScheme(
+        SchemeSpec::twoDim(CodeKind::kEdc8, 4), l1);
+    // Same horizontal code => smaller on-array area than 2D...
+    EXPECT_LT(wt.codeAreaFraction, twod.codeAreaFraction);
+    // ...but much higher dynamic power (duplicate L2 writes).
+    EXPECT_GT(wt.dynamicEnergy, 1.5 * twod.dynamicEnergy);
+}
+
+TEST(SchemeOverhead, L2SchemesRankLikeL1)
+{
+    const CacheGeometry l2 = CacheGeometry::l2();
+    const SchemeOverhead o2d = evaluateScheme(
+        SchemeSpec::twoDim(CodeKind::kEdc16, 2), l2);
+    const SchemeOverhead oc = evaluateScheme(
+        SchemeSpec::conventional(CodeKind::kOecNed, 4), l2);
+    EXPECT_LT(o2d.codeAreaFraction, oc.codeAreaFraction);
+    EXPECT_LT(o2d.dynamicEnergy, oc.dynamicEnergy);
+}
+
+TEST(SchemeOverhead, NormalizationIsExactForReferenceScheme)
+{
+    const SchemeSpec ref = SchemeSpec::conventional(CodeKind::kSecDed, 2);
+    const NormalizedOverhead n =
+        normalizeScheme(ref, ref, CacheGeometry::l1());
+    EXPECT_DOUBLE_EQ(n.area, 1.0);
+    EXPECT_DOUBLE_EQ(n.latency, 1.0);
+    EXPECT_DOUBLE_EQ(n.power, 1.0);
+}
+
+} // namespace
+} // namespace tdc
