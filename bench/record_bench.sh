@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Record a bench_micro_codec trajectory entry (docs/BENCHMARKS.md).
+#
+# Runs the google-benchmark harness in JSON mode and appends one entry
+# (commit, label, per-benchmark real_time ns) to BENCH_0002_micro_codec.json
+# at the repo root. Usage, from the repo root, after building:
+#
+#   bench/record_bench.sh [label]
+#
+# The build directory can be overridden with BUILD_DIR (default: build).
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${BUILD_DIR:-"$repo_root/build"}
+bench_bin="$build_dir/bench/bench_micro_codec"
+out_file="$repo_root/BENCH_0002_micro_codec.json"
+label=${1:-"$(date +%Y-%m-%d) run"}
+
+if [ ! -x "$bench_bin" ]; then
+    echo "error: $bench_bin not built (cmake --build $build_dir)" >&2
+    exit 1
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+"$bench_bin" --benchmark_format=json >"$raw"
+
+commit=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+python3 - "$raw" "$out_file" "$commit" "$label" <<'EOF'
+import json
+import sys
+
+raw_path, out_path, commit, label = sys.argv[1:5]
+with open(raw_path) as f:
+    run = json.load(f)
+
+to_ns = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
+results = {}
+for b in run["benchmarks"]:
+    if b.get("error_occurred"):
+        continue  # e.g. BM_DecodeCorrect64 on detection-only codes
+    name = b["name"]
+    if b.get("label"):
+        name += " [" + b["label"] + "]"
+    results[name] = round(b["real_time"] * to_ns[b.get("time_unit", "ns")], 1)
+
+entry = {
+    "commit": commit,
+    "label": label,
+    "time_unit": "ns",
+    "results": results,
+}
+
+try:
+    with open(out_path) as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    doc = {"benchmark": "bench_micro_codec", "entries": []}
+
+doc["entries"].append(entry)
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"appended entry '{label}' ({commit}) with {len(results)} results "
+      f"to {out_path}")
+EOF

@@ -10,6 +10,8 @@ InterleaveMap::InterleaveMap(size_t word_bits, size_t degree)
 {
     assert(wordWidth > 0);
     assert(intvDegree > 0);
+    if (intvDegree <= 64 && 64 % intvDegree == 0)
+        plan.emplace(strideMask64(intvDegree));
 }
 
 size_t
@@ -23,11 +25,53 @@ InterleaveMap::physicalColumn(size_t slot, size_t bit) const
 BitVector
 InterleaveMap::extractWord(const BitVector &row, size_t slot) const
 {
-    assert(row.size() == rowBits());
     BitVector word(wordWidth);
-    for (size_t b = 0; b < wordWidth; ++b)
-        word.set(b, row.get(physicalColumn(slot, b)));
+    extractWordInto(row, slot, word);
     return word;
+}
+
+void
+InterleaveMap::extractWordInto(ConstBitSpan row, size_t slot,
+                               BitVector &word) const
+{
+    assert(row.size() == rowBits());
+    assert(slot < intvDegree);
+    if (word.size() != wordWidth)
+        word = BitVector(wordWidth);
+
+    if (!plan) {
+        extractWordSlow(row, slot, word);
+        return;
+    }
+
+    // Word-parallel gather: row word i holds columns [i*64, i*64+64);
+    // the ones belonging to this slot sit at in-word positions
+    // p == slot (mod degree). Shifting right by slot aligns them to
+    // the stride mask, and the compress plan packs them to the low
+    // end in six shift/AND/OR stages.
+    const uint64_t *src = row.words();
+    uint64_t *dst = word.wordData();
+    const size_t dstWords = word.wordCount();
+    for (size_t i = 0; i < dstWords; ++i)
+        dst[i] = 0;
+
+    size_t dstPos = 0;
+    const size_t srcWords = row.wordCount();
+    for (size_t i = 0; i < srcWords; ++i) {
+        const size_t valid = std::min<size_t>(rowBits() - i * 64, 64);
+        if (valid <= slot)
+            break; // partial top word with no column of this slot
+        const size_t cnt = (valid - slot + intvDegree - 1) / intvDegree;
+        uint64_t chunk = plan->compress(src[i] >> slot);
+        if (cnt < 64)
+            chunk &= (uint64_t(1) << cnt) - 1;
+        const size_t off = dstPos % 64;
+        dst[dstPos / 64] |= chunk << off;
+        if (off + cnt > 64)
+            dst[dstPos / 64 + 1] |= chunk >> (64 - off);
+        dstPos += cnt;
+    }
+    assert(dstPos == wordWidth);
 }
 
 void
@@ -36,6 +80,54 @@ InterleaveMap::depositWord(BitVector &row, size_t slot,
 {
     assert(row.size() == rowBits());
     assert(word.size() == wordWidth);
+    assert(slot < intvDegree);
+
+    if (!plan) {
+        depositWordSlow(row, slot, word);
+        return;
+    }
+
+    // Word-parallel scatter: the inverse of extractWordInto. For each
+    // row word, expand the next chunk of codeword bits onto the
+    // stride positions and splice it in under the same mask.
+    const uint64_t *src = word.wordData();
+    uint64_t *dst = row.wordData();
+    size_t srcPos = 0;
+    const size_t dstWords = row.wordCount();
+    for (size_t i = 0; i < dstWords; ++i) {
+        const size_t valid = std::min<size_t>(rowBits() - i * 64, 64);
+        if (valid <= slot)
+            break;
+        const size_t cnt = (valid - slot + intvDegree - 1) / intvDegree;
+        // Gather cnt source bits starting at srcPos (spans <= 2 words).
+        const size_t off = srcPos % 64;
+        uint64_t chunk = src[srcPos / 64] >> off;
+        if (off != 0 && srcPos / 64 + 1 < word.wordCount())
+            chunk |= src[srcPos / 64 + 1] << (64 - off);
+        if (cnt < 64)
+            chunk &= (uint64_t(1) << cnt) - 1;
+        const uint64_t spread = plan->expand(chunk) << slot;
+        const uint64_t lanes =
+            cnt < 64 ? plan->expand((uint64_t(1) << cnt) - 1) << slot
+                     : plan->mask() << slot;
+        dst[i] = (dst[i] & ~lanes) | spread;
+        srcPos += cnt;
+    }
+    assert(srcPos == wordWidth);
+}
+
+void
+InterleaveMap::extractWordSlow(ConstBitSpan row, size_t slot,
+                               BitVector &word) const
+{
+    for (size_t b = 0; b < wordWidth; ++b)
+        word.set(b, row.get(physicalColumn(slot, b)));
+}
+
+void
+InterleaveMap::depositWordSlow(BitVector &row, size_t slot,
+                               const BitVector &word) const
+{
     for (size_t b = 0; b < wordWidth; ++b)
         row.set(physicalColumn(slot, b), word.get(b));
 }

@@ -7,7 +7,9 @@
 #define TDC_ARRAY_INTERLEAVE_HH
 
 #include <cstddef>
+#include <optional>
 
+#include "common/bit_span.hh"
 #include "common/bit_vector.hh"
 
 namespace tdc
@@ -23,6 +25,13 @@ namespace tdc
  * different logical words, which is what converts a physically
  * contiguous multi-bit upset into <= degree separate small errors,
  * one per codeword.
+ *
+ * Gather/scatter is word-parallel when the interleave degree divides
+ * 64 (all power-of-two degrees up to 64, which covers every geometry
+ * in the paper): slot s of a 64-bit row word is the stride-masked
+ * bit set (strideMask64(degree) << s), compressed to the low end with
+ * a precomputed PEXT-style butterfly (BitCompressPlan). Generic
+ * degrees keep the per-bit loop as a fallback.
  */
 class InterleaveMap
 {
@@ -51,9 +60,26 @@ class InterleaveMap
     /** Gather word slot @p slot out of a physical row. */
     BitVector extractWord(const BitVector &row, size_t slot) const;
 
+    /**
+     * Gather word slot @p slot out of @p row into @p word, reusing
+     * the storage of @p word (resized once if its length differs).
+     * The allocation-free form the access hot paths use; the span
+     * overload lets a clean read borrow the stored row directly.
+     */
+    void extractWordInto(ConstBitSpan row, size_t slot,
+                         BitVector &word) const;
+    void extractWordInto(const BitVector &row, size_t slot,
+                         BitVector &word) const
+    {
+        extractWordInto(ConstBitSpan(row), slot, word);
+    }
+
     /** Scatter @p word into slot @p slot of a physical row. */
     void depositWord(BitVector &row, size_t slot,
                      const BitVector &word) const;
+
+    /** True iff the word-parallel gather/scatter path is active. */
+    bool wordParallel() const { return plan.has_value(); }
 
     /**
      * Maximum physically-contiguous error width (in columns) whose
@@ -67,8 +93,18 @@ class InterleaveMap
     }
 
   private:
+    /** Per-bit gather, the generic-degree fallback. */
+    void extractWordSlow(ConstBitSpan row, size_t slot,
+                         BitVector &word) const;
+
+    /** Per-bit scatter, the generic-degree fallback. */
+    void depositWordSlow(BitVector &row, size_t slot,
+                         const BitVector &word) const;
+
     size_t wordWidth;
     size_t intvDegree;
+    /** Engaged iff degree divides 64: the strided compress/expand plan. */
+    std::optional<BitCompressPlan> plan;
 };
 
 } // namespace tdc

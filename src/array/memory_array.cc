@@ -1,5 +1,6 @@
 #include "array/memory_array.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace tdc
@@ -14,17 +15,38 @@ MemoryArray::MemoryArray(size_t rows, size_t cols)
 BitVector
 MemoryArray::readRow(size_t r) const
 {
+    BitVector row;
+    readRowInto(r, row);
+    return row;
+}
+
+void
+MemoryArray::readRowInto(size_t r, BitVector &out) const
+{
     assert(r < rows());
     ++reads;
-    BitVector row = cells.row(r);
-    if (!stuckCells.empty()) {
-        for (size_t c = 0; c < cols(); ++c) {
-            auto it = stuckCells.find(key(r, c));
-            if (it != stuckCells.end())
-                row.set(c, it->second);
-        }
+    copyRowInto(r, out);
+}
+
+void
+MemoryArray::copyRowInto(size_t r, BitVector &out) const
+{
+    assert(r < rows());
+    out = cells.row(r);
+    auto it = stuckByRow.find(r);
+    if (it != stuckByRow.end()) {
+        for (const auto &[c, v] : it->second)
+            out.set(c, v);
     }
-    return row;
+}
+
+ConstBitSpan
+MemoryArray::viewRow(size_t r) const
+{
+    assert(r < rows());
+    assert(!rowHasStuck(r) && "stuck rows must be read through readRow");
+    ++reads;
+    return ConstBitSpan(cells.row(r));
 }
 
 void
@@ -36,13 +58,25 @@ MemoryArray::writeRow(size_t r, const BitVector &value)
     cells.setRow(r, value);
 }
 
+void
+MemoryArray::xorRow(size_t r, const BitVector &delta)
+{
+    assert(r < rows());
+    assert(delta.size() == cols());
+    ++writes;
+    cells.row(r) ^= delta;
+}
+
 bool
 MemoryArray::readBit(size_t r, size_t c) const
 {
     assert(r < rows() && c < cols());
-    auto it = stuckCells.find(key(r, c));
-    if (it != stuckCells.end())
-        return it->second;
+    auto it = stuckByRow.find(r);
+    if (it != stuckByRow.end()) {
+        for (const auto &[col, v] : it->second)
+            if (col == c)
+                return v;
+    }
     return cells.get(r, c);
 }
 
@@ -64,25 +98,51 @@ void
 MemoryArray::addStuckAt(size_t r, size_t c, bool value)
 {
     assert(r < rows() && c < cols());
-    stuckCells[key(r, c)] = value;
+    auto &row_faults = stuckByRow[r];
+    for (auto &[col, v] : row_faults) {
+        if (col == c) {
+            v = value;
+            return;
+        }
+    }
+    row_faults.emplace_back(c, value);
+    ++stuckTotal;
 }
 
 void
 MemoryArray::clearFault(size_t r, size_t c)
 {
-    stuckCells.erase(key(r, c));
+    auto it = stuckByRow.find(r);
+    if (it == stuckByRow.end())
+        return;
+    auto &row_faults = it->second;
+    auto pos = std::find_if(row_faults.begin(), row_faults.end(),
+                            [c](const auto &f) { return f.first == c; });
+    if (pos == row_faults.end())
+        return;
+    row_faults.erase(pos);
+    --stuckTotal;
+    if (row_faults.empty())
+        stuckByRow.erase(it);
 }
 
 void
 MemoryArray::clearAllFaults()
 {
-    stuckCells.clear();
+    stuckByRow.clear();
+    stuckTotal = 0;
 }
 
 bool
 MemoryArray::isStuck(size_t r, size_t c) const
 {
-    return stuckCells.count(key(r, c)) != 0;
+    auto it = stuckByRow.find(r);
+    if (it == stuckByRow.end())
+        return false;
+    for (const auto &[col, v] : it->second)
+        if (col == c)
+            return true;
+    return false;
 }
 
 void

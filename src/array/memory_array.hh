@@ -8,8 +8,11 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/bit_matrix.hh"
+#include "common/bit_span.hh"
 #include "common/bit_vector.hh"
 
 namespace tdc
@@ -23,7 +26,10 @@ namespace tdc
  * directly (see FaultInjector).
  *
  * Reads and writes are whole physical rows, matching wordline
- * granularity; the interleave map slices words out of rows.
+ * granularity; the interleave map slices words out of rows. The fault
+ * overlay is kept per row, so fault-free rows (the overwhelmingly
+ * common case) can be *borrowed* as a ConstBitSpan instead of copied —
+ * the basis of the allocation-free clean-read path in TwoDimArray.
  */
 class MemoryArray
 {
@@ -36,8 +42,45 @@ class MemoryArray
     /** Read physical row @p r with stuck-at faults applied. */
     BitVector readRow(size_t r) const;
 
+    /**
+     * Read physical row @p r into @p out, reusing its storage (the
+     * allocation-free form for reusable row scratch buffers).
+     */
+    void readRowInto(size_t r, BitVector &out) const;
+
+    /**
+     * Snapshot row @p r (with faults applied) into @p out *without*
+     * charging a port access. For consumers that already read/latched
+     * the row this access — e.g. the in-line correction path, which
+     * re-materializes the row it just borrowed — so the modeled read
+     * count stays one per access.
+     */
+    void copyRowInto(size_t r, BitVector &out) const;
+
+    /**
+     * Borrow physical row @p r as a non-owning view — no copy, no
+     * allocation. @pre !rowHasStuck(r) (a stuck overlay would need a
+     * materialized copy; callers check and fall back to readRow).
+     * The view is invalidated by any write to the array.
+     */
+    ConstBitSpan viewRow(size_t r) const;
+
+    /** True iff any cell of row @p r has a stuck-at fault. */
+    bool rowHasStuck(size_t r) const
+    {
+        return !stuckByRow.empty() && stuckByRow.count(r) != 0;
+    }
+
     /** Write physical row @p r (stuck cells silently keep their value). */
     void writeRow(size_t r, const BitVector &value);
+
+    /**
+     * XOR @p delta into stored row @p r: the in-place form of
+     * readRow ^ delta followed by writeRow, used by the incremental
+     * vertical-parity update. Counts as one write (the read-modify-
+     * write happens at the sense amps, not through the port model).
+     */
+    void xorRow(size_t r, const BitVector &delta);
 
     /** Read a single cell (with faults applied). */
     bool readBit(size_t r, size_t c) const;
@@ -58,7 +101,7 @@ class MemoryArray
     void clearAllFaults();
 
     /** Number of stuck-at cells currently installed. */
-    size_t faultCount() const { return stuckCells.size(); }
+    size_t faultCount() const { return stuckTotal; }
 
     /** True iff cell (r, c) has a stuck-at fault. */
     bool isStuck(size_t r, size_t c) const;
@@ -68,10 +111,11 @@ class MemoryArray
     void resetCounters();
 
   private:
-    uint64_t key(size_t r, size_t c) const { return r * cols() + c; }
-
     BitMatrix cells;
-    std::unordered_map<uint64_t, bool> stuckCells;
+    /** Stuck cells of each faulty row, as (column, stuck value). */
+    std::unordered_map<size_t, std::vector<std::pair<size_t, bool>>>
+        stuckByRow;
+    size_t stuckTotal = 0;
     mutable uint64_t reads = 0;
     uint64_t writes = 0;
 };

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Non-owning views over BitVector word storage, plus the word-level
+ * primitives the codec/array hot loops are built from.
+ *
+ * A BitVector always starts its bits at bit 0 of word 0, so a span over
+ * one is word-aligned by construction. Spans never allocate: they are
+ * (pointer, bit-length) pairs, cheap to pass by value, and let the
+ * access-critical paths (TwoDimArray::readWord/writeWord, the EDC and
+ * Hsiao codecs, InterleaveMap gather/scatter) operate on rows in place
+ * instead of constructing row-sized temporaries per access.
+ */
+
+#ifndef TDC_COMMON_BIT_SPAN_HH
+#define TDC_COMMON_BIT_SPAN_HH
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bit_vector.hh"
+
+namespace tdc
+{
+
+/**
+ * Read-only word-aligned view of @p nbits bits packed into uint64_t
+ * words, bit 0 = LSB of word 0. The invariant of BitVector carries
+ * over: bits at positions >= size() in the top word are zero.
+ */
+class ConstBitSpan
+{
+  public:
+    ConstBitSpan(const uint64_t *words, size_t nbits)
+        : wordPtr(words), numBits(nbits)
+    {
+    }
+
+    /** View of an entire BitVector. */
+    explicit ConstBitSpan(const BitVector &v)
+        : ConstBitSpan(v.wordData(), v.size())
+    {
+    }
+
+    size_t size() const { return numBits; }
+    bool empty() const { return numBits == 0; }
+
+    /** Number of 64-bit words backing the span. */
+    size_t wordCount() const { return (numBits + 63) / 64; }
+
+    const uint64_t *words() const { return wordPtr; }
+    uint64_t word(size_t i) const { return wordPtr[i]; }
+
+    bool get(size_t pos) const
+    {
+        assert(pos < numBits);
+        return (wordPtr[pos / 64] >> (pos % 64)) & 1;
+    }
+
+    /** True iff no bit is set. */
+    bool none() const
+    {
+        for (size_t i = 0, n = wordCount(); i < n; ++i)
+            if (wordPtr[i] != 0)
+                return false;
+        return true;
+    }
+
+    /** Number of set bits. */
+    size_t popcount() const
+    {
+        size_t count = 0;
+        for (size_t i = 0, n = wordCount(); i < n; ++i)
+            count += std::popcount(wordPtr[i]);
+        return count;
+    }
+
+    /** Parity (XOR) of all bits. */
+    bool parity() const
+    {
+        uint64_t acc = 0;
+        for (size_t i = 0, n = wordCount(); i < n; ++i)
+            acc ^= wordPtr[i];
+        return std::popcount(acc) & 1;
+    }
+
+    /**
+     * Parity of the AND with @p other (same length): one row of a
+     * parity-check-matrix product, i.e. popcount(this & other) & 1
+     * without materializing the AND.
+     */
+    bool parityOfAnd(ConstBitSpan other) const
+    {
+        assert(numBits == other.numBits);
+        uint64_t acc = 0;
+        for (size_t i = 0, n = wordCount(); i < n; ++i)
+            acc ^= wordPtr[i] & other.wordPtr[i];
+        return std::popcount(acc) & 1;
+    }
+
+    /** Materialize an owning copy. */
+    BitVector toBitVector() const
+    {
+        BitVector out(numBits);
+        uint64_t *dst = out.wordData();
+        for (size_t i = 0, n = wordCount(); i < n; ++i)
+            dst[i] = wordPtr[i];
+        return out;
+    }
+
+  private:
+    const uint64_t *wordPtr;
+    size_t numBits;
+};
+
+/** Mutable counterpart of ConstBitSpan. */
+class BitSpan
+{
+  public:
+    BitSpan(uint64_t *words, size_t nbits) : wordPtr(words), numBits(nbits) {}
+
+    /** View of an entire BitVector (the vector must outlive the span). */
+    explicit BitSpan(BitVector &v) : BitSpan(v.wordData(), v.size()) {}
+
+    operator ConstBitSpan() const { return {wordPtr, numBits}; }
+
+    size_t size() const { return numBits; }
+    size_t wordCount() const { return (numBits + 63) / 64; }
+
+    uint64_t *words() { return wordPtr; }
+    uint64_t word(size_t i) const { return wordPtr[i]; }
+
+    bool get(size_t pos) const
+    {
+        assert(pos < numBits);
+        return (wordPtr[pos / 64] >> (pos % 64)) & 1;
+    }
+
+    void set(size_t pos, bool value)
+    {
+        assert(pos < numBits);
+        const uint64_t mask = uint64_t(1) << (pos % 64);
+        if (value)
+            wordPtr[pos / 64] |= mask;
+        else
+            wordPtr[pos / 64] &= ~mask;
+    }
+
+    /**
+     * In-place XOR with @p other (same length). Safe when both spans
+     * alias the same storage (the result is then all-zero).
+     */
+    void xorWith(ConstBitSpan other)
+    {
+        assert(numBits == other.size());
+        const uint64_t *src = other.words();
+        for (size_t i = 0, n = wordCount(); i < n; ++i)
+            wordPtr[i] ^= src[i];
+    }
+
+    /** Clear all bits (whole backing words, honoring the invariant). */
+    void clear()
+    {
+        for (size_t i = 0, n = wordCount(); i < n; ++i)
+            wordPtr[i] = 0;
+    }
+
+    /** Copy from @p other (same length). */
+    void copyFrom(ConstBitSpan other)
+    {
+        assert(numBits == other.size());
+        const uint64_t *src = other.words();
+        for (size_t i = 0, n = wordCount(); i < n; ++i)
+            wordPtr[i] = src[i];
+    }
+
+  private:
+    uint64_t *wordPtr;
+    size_t numBits;
+};
+
+/**
+ * Precomputed plan for compressing (gathering) the bits selected by a
+ * fixed mask to the low end of a word, and for the inverse expansion
+ * (scatter). This is the software analogue of the BMI2 PEXT/PDEP
+ * instructions, built once per mask with the O(log w) butterfly
+ * network of Hacker's Delight 7-4, so the per-word cost is 6
+ * shift/XOR/AND stages (log2 of the word width) regardless of mask
+ * weight.
+ *
+ * InterleaveMap uses one plan per interleave degree: the stride mask
+ * 0b...000100010001 selects every degree-th bit, and compressing a
+ * shifted row word gathers one codeword's bits out of the interleaved
+ * physical row in a handful of ALU ops instead of a per-bit loop.
+ */
+class BitCompressPlan
+{
+  public:
+    explicit BitCompressPlan(uint64_t mask);
+
+    uint64_t mask() const { return selectMask; }
+
+    /** Number of selected bits = size of the compressed result. */
+    unsigned count() const { return bitCount; }
+
+    /** PEXT: gather the bits of @p x under the mask to the low end. */
+    uint64_t compress(uint64_t x) const;
+
+    /**
+     * PDEP: scatter the low count() bits of @p x to the mask positions.
+     * Bits of @p x above count() are ignored.
+     */
+    uint64_t expand(uint64_t x) const;
+
+  private:
+    static constexpr unsigned stages = 6; // log2(64)
+
+    uint64_t selectMask;
+    unsigned bitCount;
+    /** Butterfly stage masks for compress (Hacker's Delight 7-4). */
+    uint64_t moveMasks[stages];
+};
+
+/**
+ * The stride mask with bits set at 0, stride, 2*stride, ... (all
+ * multiples of @p stride below 64). @pre 1 <= stride <= 64.
+ */
+uint64_t strideMask64(size_t stride);
+
+} // namespace tdc
+
+#endif // TDC_COMMON_BIT_SPAN_HH

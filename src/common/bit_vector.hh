@@ -15,7 +15,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
-#include <vector>
 
 namespace tdc
 {
@@ -26,6 +25,12 @@ namespace tdc
  * Bit 0 is the least-significant bit of word 0. All binary operators
  * require operands of identical length; this is asserted, not resized,
  * because a silent length mismatch in a codec is always a bug.
+ *
+ * Storage is small-buffer optimized: vectors up to 320 bits (every
+ * codeword geometry of the study, and an L1 physical row) live inline
+ * with no heap traffic, which is what keeps the per-access codec path
+ * allocation-free. Longer vectors (wide physical rows) spill to the
+ * heap exactly like a std::vector would.
  */
 class BitVector
 {
@@ -41,6 +46,12 @@ class BitVector
      * Bits above 64 (if nbits > 64) are cleared.
      */
     BitVector(size_t nbits, uint64_t value);
+
+    BitVector(const BitVector &other);
+    BitVector(BitVector &&other) noexcept;
+    BitVector &operator=(const BitVector &other);
+    BitVector &operator=(BitVector &&other) noexcept;
+    ~BitVector() { release(); }
 
     /** Number of bits in the vector. */
     size_t size() const { return numBits; }
@@ -89,7 +100,10 @@ class BitVector
     BitVector operator|(const BitVector &other) const;
 
     bool operator==(const BitVector &other) const;
-    bool operator!=(const BitVector &other) const = default;
+    bool operator!=(const BitVector &other) const
+    {
+        return !(*this == other);
+    }
 
     /**
      * Extract @p len bits starting at @p pos into a new vector.
@@ -118,20 +132,56 @@ class BitVector
     /** Parity (XOR) of all bits. */
     bool parity() const;
 
+    /**
+     * Overwrite min(len, 64, size()-pos) bits starting at @p pos with
+     * the low bits of @p value (little-endian bit order).
+     */
+    void setBits(size_t pos, uint64_t value, size_t len = 64);
+
     /** Render as a '0'/'1' string, bit 0 first. */
     std::string toString() const;
 
-    /** Access to the packed word storage (read-only). */
-    const std::vector<uint64_t> &words() const { return wordStore; }
+    /** Number of 64-bit words backing the vector. */
+    size_t wordCount() const
+    {
+        return (numBits + bitsPerWord - 1) / bitsPerWord;
+    }
+
+    /**
+     * Raw pointer to the packed word storage. The mutable overload is
+     * the escape hatch the span/codec hot paths are built on; callers
+     * must preserve the invariant that bits at positions >= size() in
+     * the top word stay zero.
+     */
+    const uint64_t *wordData() const { return wordPtr; }
+    uint64_t *wordData() { return wordPtr; }
 
   private:
     /** Zero any stale bits above numBits in the top word. */
     void trimTopWord();
 
+    /** Free the heap buffer, if any (leaves members stale). */
+    void release()
+    {
+        if (wordPtr != inlineStore)
+            delete[] wordPtr;
+    }
+
+    /**
+     * Ensure capacity for @p words words, carrying over the first
+     * @p preserveWords valid words (grow path); pass 0 to drop the
+     * contents (assign path).
+     */
+    void reserveWords(size_t words, size_t preserveWords);
+
     static constexpr size_t bitsPerWord = 64;
+    /** Inline capacity: 320 bits, one cache line of payload. */
+    static constexpr size_t inlineWords = 5;
 
     size_t numBits = 0;
-    std::vector<uint64_t> wordStore;
+    size_t capWords = inlineWords;
+    uint64_t *wordPtr = inlineStore;
+    uint64_t inlineStore[inlineWords];
 };
 
 } // namespace tdc

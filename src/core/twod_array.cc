@@ -22,15 +22,17 @@ TwoDimArray::writeWord(size_t row, size_t slot, const BitVector &value)
     // Step 1 (Figure 4(a)): read old data and vertical parity. The
     // read-before-write is what the cache-level performance study
     // charges for.
-    const BitVector old_row = data.readRow(row);
+    data.readRowInto(row, rowScratch);
     ++stat.readBeforeWrites;
 
-    // Step 2: write new data & horizontal code, fold old^new into the
-    // vertical parity row.
-    BitVector new_row = old_row;
-    map.depositWord(new_row, slot, horizontal->encode(value));
-    data.writeRow(row, new_row);
-    parity.applyDelta(row, old_row ^ new_row);
+    // Step 2: write new data & horizontal code, and fold old ^ new
+    // into the vertical parity row — all through recycled scratch
+    // buffers, no per-access row temporaries.
+    deltaScratch = rowScratch; // old row
+    map.depositWord(rowScratch, slot, horizontal->encode(value));
+    data.writeRow(row, rowScratch);
+    deltaScratch ^= rowScratch; // old ^ new
+    parity.applyDelta(row, deltaScratch);
     ++stat.writes;
 }
 
@@ -38,9 +40,19 @@ AccessResult
 TwoDimArray::readWord(size_t row, size_t slot)
 {
     ++stat.reads;
-    const BitVector phys_row = data.readRow(row);
-    DecodeResult decoded = horizontal->decode(map.extractWord(phys_row,
-                                                              slot));
+    // Error-free fast path: borrow the stored row as a span and gather
+    // the codeword straight out of it — the only per-access work is
+    // the strided extract plus the horizontal syndrome. Rows carrying
+    // a stuck-at overlay are materialized through the scratch buffer.
+    if (!data.rowHasStuck(row)) {
+        map.extractWordInto(data.viewRow(row), slot, cwScratch);
+        ++stat.rowBorrows;
+    } else {
+        data.readRowInto(row, rowScratch);
+        map.extractWordInto(rowScratch, slot, cwScratch);
+        ++stat.rowCopies;
+    }
+    DecodeResult decoded = horizontal->decode(cwScratch);
 
     AccessResult result;
     result.status = decoded.status;
@@ -51,13 +63,17 @@ TwoDimArray::readWord(size_t row, size_t slot)
 
     if (result.status == DecodeStatus::kCorrected) {
         // In-line horizontal correction (SECDED path): repair the
-        // stored copy. The vertical parity is *not* updated: it
-        // already reflects the intended (pre-error) value, which is
-        // exactly what the correction restores. Errors never update
-        // parity; only genuine value-changing writes do.
-        BitVector fixed_row = phys_row;
-        map.depositWord(fixed_row, slot, horizontal->encode(result.data));
-        data.writeRow(row, fixed_row);
+        // stored copy. The row was already read above — on the borrow
+        // path re-materialize it without charging a second port
+        // access; on the stuck path rowScratch still holds it. The
+        // vertical parity is *not* updated: it already reflects the
+        // intended (pre-error) value, which is exactly what the
+        // correction restores. Errors never update parity; only
+        // genuine value-changing writes do.
+        if (!data.rowHasStuck(row))
+            data.copyRowInto(row, rowScratch);
+        map.depositWord(rowScratch, slot, horizontal->encode(result.data));
+        data.writeRow(row, rowScratch);
         ++stat.inlineCorrections;
         return result;
     }

@@ -54,6 +54,16 @@ struct TwoDimStats
     uint64_t inlineCorrections = 0; ///< horizontal (SECDED) fixes
     uint64_t recoveries = 0;
     uint64_t recoveryFailures = 0;
+
+    /**
+     * readWord accesses served by borrowing the stored row as a span
+     * (no copy) vs. those that had to materialize a copy because the
+     * row carries a stuck-at overlay. On a fault-free bank every read
+     * is a borrow: rowCopies == 0 is the allocation-free fast-path
+     * invariant the tests pin down.
+     */
+    uint64_t rowBorrows = 0;
+    uint64_t rowCopies = 0;
 };
 
 /**
@@ -161,6 +171,18 @@ class TwoDimArray
     VerticalParity parity;
     TwoDimStats stat;
     RecoveryReport lastReport;
+
+    /**
+     * Reusable scratch buffers for the access hot paths (readWord /
+     * writeWord): row-sized and codeword-sized temporaries are built
+     * once and recycled, so steady-state accesses allocate nothing.
+     * Accesses are consequently not reentrant per instance — same as
+     * the underlying stats, and matching the single-ported banks the
+     * model represents.
+     */
+    BitVector rowScratch;
+    BitVector deltaScratch;
+    BitVector cwScratch;
 };
 
 } // namespace tdc

@@ -1,5 +1,6 @@
 #include "ecc/bch.hh"
 
+#include <bit>
 #include <cassert>
 #include <map>
 #include <set>
@@ -73,6 +74,31 @@ BchCode::BchCode(size_t data_bits, size_t t)
     }
     assert(field && "no supported field fits this (k, t)");
 
+    // Build the byte-at-a-time division table (classic CRC technique):
+    // one entry per top-byte value, giving the combined reduction of
+    // eight bit-serial LFSR steps. Engaged when the remainder fits a
+    // word and the data is byte-aligned — true for every (k, t) the
+    // paper uses — and makes encode ~8x fewer, branch-free steps.
+    if (r >= 8 && r <= 64 && k % 8 == 0) {
+        for (size_t i = 0; i < r; ++i) {
+            if (gen[i])
+                genLow |= uint64_t(1) << i;
+        }
+        const uint64_t rmask =
+            r == 64 ? ~uint64_t(0) : (uint64_t(1) << r) - 1;
+        byteTable.resize(256);
+        for (uint32_t b = 0; b < 256; ++b) {
+            uint64_t cur = uint64_t(b) << (r - 8);
+            for (int s = 0; s < 8; ++s) {
+                const bool feedback = (cur >> (r - 1)) & 1;
+                cur = (cur << 1) & rmask;
+                if (feedback)
+                    cur ^= genLow;
+            }
+            byteTable[b] = cur;
+        }
+    }
+
     // Cache the fan-in of each systematic check equation: the column
     // of data bit j is x^(r+j) mod g(x); row i's weight counts the
     // data bits whose column has coefficient i set.
@@ -91,7 +117,22 @@ BitVector
 BchCode::polyRemainder(const BitVector &data) const
 {
     assert(data.size() == k);
-    // LFSR division of x^r * d(x) by g(x), data coefficient k-1 first.
+    if (!byteTable.empty()) {
+        // Byte-parallel LFSR division, message byte k/8-1 first (the
+        // byte holding the highest polynomial coefficients).
+        const uint64_t rmask =
+            r == 64 ? ~uint64_t(0) : (uint64_t(1) << r) - 1;
+        uint64_t rem = 0;
+        for (size_t bi = k / 8; bi-- > 0;) {
+            const uint64_t byte = data.toUint64(bi * 8, 8);
+            const size_t top = size_t((rem >> (r - 8)) ^ byte) & 0xFF;
+            rem = ((rem << 8) & rmask) ^ byteTable[top];
+        }
+        return BitVector(r, rem);
+    }
+
+    // Bit-serial LFSR division of x^r * d(x) by g(x), data
+    // coefficient k-1 first.
     BitVector rem(r);
     for (size_t j = k; j-- > 0;) {
         const bool feedback = rem.get(r - 1) ^ data.get(j);
@@ -108,18 +149,25 @@ BchCode::computeCheck(const BitVector &data) const
     return polyRemainder(data);
 }
 
-std::vector<uint32_t>
+const std::vector<uint32_t> &
 BchCode::syndromes(const BitVector &codeword) const
 {
     // Coefficient position of codeword bit b: check bits occupy
-    // coefficients 0..r-1, data bits r..r+k-1.
-    std::vector<uint32_t> synd(2 * tCap, 0);
-    for (size_t b = 0; b < k + r; ++b) {
-        if (!codeword.get(b))
-            continue;
-        const size_t p = b < k ? r + b : b - k;
-        for (size_t j = 0; j < 2 * tCap; ++j)
-            synd[j] ^= field->alphaPow(int64_t(j + 1) * int64_t(p));
+    // coefficients 0..r-1, data bits r..r+k-1. Iterate only the set
+    // bits via word scans (codewords are mostly dense, but the scan
+    // still replaces a per-bit branch with countr_zero).
+    std::vector<uint32_t> &synd = syndScratch;
+    synd.assign(2 * tCap, 0);
+    const uint64_t *words = codeword.wordData();
+    for (size_t w = 0, n = codeword.wordCount(); w < n; ++w) {
+        uint64_t x = words[w];
+        while (x != 0) {
+            const size_t b = w * 64 + size_t(std::countr_zero(x));
+            x &= x - 1;
+            const size_t p = b < k ? r + b : b - k;
+            for (size_t j = 0; j < 2 * tCap; ++j)
+                synd[j] ^= field->alphaPow(int64_t(j + 1) * int64_t(p));
+        }
     }
     return synd;
 }
@@ -202,7 +250,7 @@ BchCode::decode(const BitVector &codeword) const
     DecodeResult result;
     result.data = codeword.slice(0, k);
 
-    const std::vector<uint32_t> synd = syndromes(codeword);
+    const std::vector<uint32_t> &synd = syndromes(codeword);
     bool all_zero = true;
     for (uint32_t s : synd) {
         if (s != 0) {

@@ -75,8 +75,13 @@ class BchCode : public Code
     /** Divide x^r * d(x) by g(x) over GF(2), returning the remainder. */
     BitVector polyRemainder(const BitVector &data) const;
 
-    /** Syndromes S_1..S_2t of the received polynomial. */
-    std::vector<uint32_t> syndromes(const BitVector &codeword) const;
+    /**
+     * Syndromes S_1..S_2t of the received polynomial, written into the
+     * cached scratch buffer (one heap allocation per codec lifetime
+     * instead of one per decode; decode is therefore not thread-safe
+     * per instance, like the rest of the per-word scratch).
+     */
+    const std::vector<uint32_t> &syndromes(const BitVector &codeword) const;
 
     /** Berlekamp-Massey: error-locator polynomial from syndromes. */
     GFPoly berlekampMassey(const std::vector<uint32_t> &synd) const;
@@ -96,6 +101,20 @@ class BchCode : public Code
     std::vector<bool> gen;
     /** Cached H-matrix row weights of the systematic check equations. */
     std::vector<size_t> rowWeights;
+
+    /**
+     * CRC-style byte-at-a-time division table: remainder evolution of
+     * injecting one message byte into the LFSR. Built when the
+     * remainder fits one word (r <= 64) and k is byte-aligned, which
+     * covers every geometry in the study; empty otherwise (bit-serial
+     * fallback).
+     */
+    std::vector<uint64_t> byteTable;
+    /** Low r bits of g(x) as a word (valid iff byteTable nonempty). */
+    uint64_t genLow = 0;
+
+    /** Per-decode scratch, cached across calls (see syndromes()). */
+    mutable std::vector<uint32_t> syndScratch;
 };
 
 /**

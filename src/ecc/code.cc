@@ -9,8 +9,11 @@ BitVector
 Code::encode(const BitVector &data) const
 {
     assert(data.size() == dataBits());
-    BitVector codeword(data);
-    codeword.append(computeCheck(data));
+    // Build the codeword at its final size: two word-parallel slice
+    // deposits, no append/regrow step.
+    BitVector codeword(dataBits() + checkBits());
+    codeword.setSlice(0, data);
+    codeword.setSlice(dataBits(), computeCheck(data));
     return codeword;
 }
 

@@ -1,5 +1,6 @@
 #include "ecc/hsiao.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -49,19 +50,81 @@ HsiaoSecDedCode::HsiaoSecDedCode(size_t data_bits)
     // Check columns: unit vectors.
     for (size_t i = 0; i < r; ++i)
         columns.push_back(uint64_t(1) << i);
+
+    // Transpose H into r packed row-masks so encode/syndrome become
+    // one AND+popcount per 64 codeword bits (the word-parallel form of
+    // Hsiao's XOR trees).
+    maskWords = (k + r + 63) / 64;
+    rowMasks.assign(r * maskWords, 0);
+    for (size_t i = 0; i < k + r; ++i) {
+        for (size_t row = 0; row < r; ++row) {
+            if ((columns[i] >> row) & 1)
+                rowMasks[row * maskWords + i / 64] |= uint64_t(1) << (i % 64);
+        }
+    }
+
+    // Precompute syndrome -> bit position. r is small (8 for k = 64,
+    // 10 for k = 256), so the 2^r table is tiny; the guard keeps a
+    // pathological wide code from allocating gigabytes.
+    if (r <= 20) {
+        syndromeToPos.assign(size_t(1) << r, -1);
+        for (size_t i = 0; i < k + r; ++i)
+            syndromeToPos[columns[i]] = int32_t(i);
+    }
+
+    // Per-byte syndrome table (see header). Only byte-aligned data
+    // widths qualify: then codeword byte i < k/8 is pure data, so the
+    // same table serves computeCheck (over data bytes) and the full
+    // syndrome (over all codeword bytes).
+    if (k % 8 == 0) {
+        const size_t nBytes = (k + r + 7) / 8;
+        byteSyndromes.assign(nBytes * 256, 0);
+        for (size_t i = 0; i < nBytes; ++i) {
+            const size_t bits = std::min<size_t>(8, k + r - i * 8);
+            for (size_t b = 1; b < 256; ++b) {
+                uint64_t acc = 0;
+                for (size_t j = 0; j < bits; ++j) {
+                    if ((b >> j) & 1)
+                        acc ^= columns[i * 8 + j];
+                }
+                byteSyndromes[i * 256 + b] = acc;
+            }
+        }
+    }
+}
+
+uint64_t
+HsiaoSecDedCode::foldBytes(const uint64_t *words, size_t nbytes) const
+{
+    uint64_t syn = 0;
+    for (size_t i = 0; i < nbytes; ++i)
+        syn ^= byteSyndromes[i * 256 + ((words[i / 8] >> (8 * (i % 8))) &
+                                        0xFF)];
+    return syn;
 }
 
 BitVector
 HsiaoSecDedCode::computeCheck(const BitVector &data) const
 {
     assert(data.size() == k);
+    if (!byteSyndromes.empty())
+        return BitVector(r, foldBytes(data.wordData(), k / 8));
+
+    // Fallback: check[row] = parity(data & rowMask_row). The row masks
+    // span all n bits, but the check columns are unit vectors, so over
+    // the data region the first ceil(k/64) words are exactly the data
+    // part of each row; data's top-word invariant zeroes kill any
+    // check-column bits sharing the boundary word.
+    const uint64_t *words = data.wordData();
+    const size_t dataWords = data.wordCount();
     uint64_t acc = 0;
-    for (size_t i = 0; i < k; ++i) {
-        if (data.get(i))
-            acc ^= columns[i];
+    for (size_t row = 0; row < r; ++row) {
+        uint64_t fold = 0;
+        for (size_t w = 0; w < dataWords; ++w)
+            fold ^= words[w] & rowMask(row, w);
+        acc |= uint64_t(std::popcount(fold) & 1) << row;
     }
-    BitVector check(r, acc);
-    return check;
+    return BitVector(r, acc);
 }
 
 DecodeResult
@@ -71,10 +134,17 @@ HsiaoSecDedCode::decode(const BitVector &codeword) const
     DecodeResult result;
     result.data = codeword.slice(0, k);
 
+    const uint64_t *words = codeword.wordData();
     uint64_t syndrome = 0;
-    for (size_t i = 0; i < k + r; ++i) {
-        if (codeword.get(i))
-            syndrome ^= columns[i];
+    if (!byteSyndromes.empty()) {
+        syndrome = foldBytes(words, (k + r + 7) / 8);
+    } else {
+        for (size_t row = 0; row < r; ++row) {
+            uint64_t fold = 0;
+            for (size_t w = 0; w < maskWords; ++w)
+                fold ^= words[w] & rowMask(row, w);
+            syndrome |= uint64_t(std::popcount(fold) & 1) << row;
+        }
     }
 
     if (syndrome == 0) {
@@ -83,15 +153,25 @@ HsiaoSecDedCode::decode(const BitVector &codeword) const
     }
 
     if (std::popcount(syndrome) % 2 == 1) {
-        // Odd syndrome: try single-bit correction.
-        for (size_t i = 0; i < k + r; ++i) {
-            if (columns[i] == syndrome) {
-                if (i < k)
-                    result.data.flip(i);
-                result.correctedPositions.push_back(i);
-                result.status = DecodeStatus::kCorrected;
-                return result;
+        // Odd syndrome: single-bit correction via the lookup table
+        // (columns scan only if the table was too wide to build).
+        int32_t pos = -1;
+        if (!syndromeToPos.empty()) {
+            pos = syndromeToPos[syndrome];
+        } else {
+            for (size_t i = 0; i < k + r; ++i) {
+                if (columns[i] == syndrome) {
+                    pos = int32_t(i);
+                    break;
+                }
             }
+        }
+        if (pos >= 0) {
+            if (size_t(pos) < k)
+                result.data.flip(size_t(pos));
+            result.correctedPositions.push_back(size_t(pos));
+            result.status = DecodeStatus::kCorrected;
+            return result;
         }
         // Odd-weight syndrome matching no column: >= 3 errors.
         result.status = DecodeStatus::kDetectedUncorrectable;

@@ -59,11 +59,46 @@ class HsiaoSecDedCode : public Code
     /** Column of H assigned to codeword bit @p pos, as an r-bit mask. */
     uint64_t column(size_t pos) const { return columns[pos]; }
 
+    /** Row-major H: word @p w of the n-bit mask of parity row @p row. */
+    uint64_t rowMask(size_t row, size_t w) const
+    {
+        return rowMasks[row * maskWords + w];
+    }
+
+    /** Syndrome of the first @p nbytes bytes of @p words via the
+     *  per-byte table. @pre !byteSyndromes.empty() */
+    uint64_t foldBytes(const uint64_t *words, size_t nbytes) const;
+
     size_t k;
     size_t r;
     /** H columns for all n = k + r codeword bits (bit i of the mask is
      *  row i of H). */
     std::vector<uint64_t> columns;
+
+    /**
+     * H transposed into r row-masks over the n codeword bits (packed
+     * 64-bit words, maskWords words per row): check/syndrome bit i is
+     * popcount(codeword & rowMask_i) & 1, one AND+popcount per word
+     * instead of a conditional XOR per bit.
+     */
+    std::vector<uint64_t> rowMasks;
+    size_t maskWords;
+
+    /**
+     * syndrome -> codeword bit position (or -1), replacing the linear
+     * column scan in decode. Built only while 2^r stays small; decode
+     * falls back to the scan when empty.
+     */
+    std::vector<int32_t> syndromeToPos;
+
+    /**
+     * Per-byte syndrome contributions: entry [i*256 + b] is the XOR of
+     * the H columns of codeword byte i selected by the bits of b. A
+     * full syndrome is then ceil(n/8) table XORs — the software shape
+     * of an 8-way-flattened XOR tree. Built when k is byte-aligned
+     * (all geometries in the study); rowMasks is the general fallback.
+     */
+    std::vector<uint64_t> byteSyndromes;
 };
 
 } // namespace tdc

@@ -59,8 +59,20 @@ class InterleavedParityCode : public Code
     BitVector syndrome(const BitVector &codeword) const;
 
   private:
+    /**
+     * Word-parallel check computation: XOR-fold the low @p nbits of
+     * the packed @p words down to one bit per parity class. Valid only
+     * when n divides 64 (all EDCn geometries the paper uses).
+     */
+    uint64_t foldClasses(const uint64_t *words, size_t nbits) const;
+
+    /** Syndrome as a packed n-bit word (fast path of syndrome()). */
+    uint64_t syndromeBits(const BitVector &codeword) const;
+
     size_t k;
     size_t numClasses;
+    /** True iff n divides 64, enabling the word-folded hot path. */
+    bool wordParallel;
 };
 
 } // namespace tdc
