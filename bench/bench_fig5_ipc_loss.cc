@@ -10,9 +10,10 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/table.hh"
-#include "cpu/cmp_simulator.hh"
+#include "cpu/cmp_batch.hh"
 
 using namespace tdc;
 
@@ -22,35 +23,39 @@ namespace
 constexpr uint64_t kCycles = 150000;
 constexpr uint64_t kSeed = 42;
 
-double
-loss(const CmpConfig &m, const WorkloadProfile &w,
-     const ProtectionConfig &prot)
-{
-    CmpSimulator base_sim(m, w, ProtectionConfig::none(), kSeed);
-    CmpSimulator prot_sim(m, w, prot, kSeed);
-    const double base = base_sim.run(kCycles).ipc();
-    const double protd = prot_sim.run(kCycles).ipc();
-    return (base - protd) / base;
-}
-
 void
 machineTable(const CmpConfig &m, const char *title)
 {
     std::printf("--- Figure 5(%s) ---\n\n", title);
+
+    // The whole grid — 6 workloads x (baseline + 4 protections) — is
+    // one batch over the worker pool; matched pairs share kSeed.
+    const ProtectionConfig protections[] = {
+        ProtectionConfig::none(), ProtectionConfig::l1Only(false),
+        ProtectionConfig::l1Only(true), ProtectionConfig::l2Only(),
+        ProtectionConfig::full(true),
+    };
+    const std::vector<WorkloadProfile> &workloads = standardWorkloads();
+    std::vector<CmpRunSpec> specs;
+    for (const WorkloadProfile &w : workloads) {
+        for (const ProtectionConfig &prot : protections)
+            specs.push_back({m, w, prot, kSeed});
+    }
+    const std::vector<CmpSimResult> runs = runCmpBatch(specs, kCycles);
+
     Table t({"Workload", "L1 D-cache", "L1 + port stealing", "L2 cache",
              "L1(steal) + L2"});
     double sums[4] = {};
-    for (const WorkloadProfile &w : standardWorkloads()) {
-        const double l1 = loss(m, w, ProtectionConfig::l1Only(false));
-        const double l1s = loss(m, w, ProtectionConfig::l1Only(true));
-        const double l2 = loss(m, w, ProtectionConfig::l2Only());
-        const double full = loss(m, w, ProtectionConfig::full(true));
-        sums[0] += l1;
-        sums[1] += l1s;
-        sums[2] += l2;
-        sums[3] += full;
-        t.addRow({w.name, Table::pct(l1), Table::pct(l1s),
-                  Table::pct(l2), Table::pct(full)});
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const double base = runs[wi * 5].ipc();
+        double losses[4];
+        std::vector<std::string> row{workloads[wi].name};
+        for (size_t pi = 0; pi < 4; ++pi) {
+            losses[pi] = (base - runs[wi * 5 + 1 + pi].ipc()) / base;
+            sums[pi] += losses[pi];
+            row.push_back(Table::pct(losses[pi]));
+        }
+        t.addRow(row);
     }
     t.addRow({"Average", Table::pct(sums[0] / 6), Table::pct(sums[1] / 6),
               Table::pct(sums[2] / 6), Table::pct(sums[3] / 6)});

@@ -10,9 +10,11 @@
 #include <benchmark/benchmark.h>
 
 #include "array/fault.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "core/twod_array.hh"
 #include "ecc/code_factory.hh"
+#include "reliability/recovery_sweep.hh"
 
 using namespace tdc;
 
@@ -73,6 +75,63 @@ BM_DecodeCorrect64(benchmark::State &state)
     state.SetLabel(code->name() + " @ max errors");
 }
 BENCHMARK(BM_DecodeCorrect64)->DenseRange(0, 4);
+
+/**
+ * Dirty BCH decode: the full syndrome/BM/Chien pipeline with 1..t
+ * injected errors (the paper's multi-bit events). Args: (code index,
+ * error count).
+ */
+void
+BM_DecodeDirty64(benchmark::State &state)
+{
+    const CodePtr code = makeCode(kindFromIndex(state.range(0)), 64);
+    const size_t nerrs = size_t(state.range(1));
+    Rng rng(7);
+    BitVector cw = code->encode(BitVector(64, rng.next()));
+    // Distinct random flip positions across the whole codeword.
+    std::vector<size_t> flips;
+    while (flips.size() < nerrs) {
+        const size_t p = rng.nextBelow(cw.size());
+        bool dup = false;
+        for (size_t q : flips)
+            dup |= q == p;
+        if (!dup)
+            flips.push_back(p);
+    }
+    for (size_t p : flips)
+        cw.flip(p);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code->decode(cw));
+    }
+    state.SetLabel(code->name() + " @ " + std::to_string(nerrs) +
+                   " errors");
+}
+BENCHMARK(BM_DecodeDirty64)
+    ->Args({2, 1})->Args({2, 2})          // DECTED (t=2)
+    ->Args({3, 2})->Args({3, 4})          // QECPED (t=4)
+    ->Args({4, 1})->Args({4, 4})->Args({4, 8}); // OECNED (t=8)
+
+/**
+ * Monte-Carlo recovery sweep (Figure 3-style injection campaign) at a
+ * given worker-pool thread count. Arg: threads.
+ */
+void
+BM_RecoverySweep(benchmark::State &state)
+{
+    setParallelThreads(unsigned(state.range(0)));
+    RecoverySweepParams params;
+    params.trials = 16;
+    params.seed = 99;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runRecoverySweep(params));
+    }
+    setParallelThreads(0);
+    state.SetLabel("16 trials, " + std::to_string(state.range(0)) +
+                   " thread(s)");
+}
+BENCHMARK(BM_RecoverySweep)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_TwoDimReadFastPath(benchmark::State &state)

@@ -2,10 +2,16 @@
 # Record a bench_micro_codec trajectory entry (docs/BENCHMARKS.md).
 #
 # Runs the google-benchmark harness in JSON mode and appends one entry
-# (commit, label, per-benchmark real_time ns) to BENCH_0002_micro_codec.json
+# (commit, label, per-benchmark real_time ns) to a BENCH_*.json file
 # at the repo root. Usage, from the repo root, after building:
 #
-#   bench/record_bench.sh [label]
+#   bench/record_bench.sh [--out FILE] [--filter REGEX] [label]
+#
+# --out    trajectory file to append to (default:
+#          BENCH_0002_micro_codec.json)
+# --filter google-benchmark regex selecting which benchmarks to run
+#          and record (default: all). BENCH_0003_bch_decode.json is
+#          recorded with --filter 'BM_DecodeDirty64|BM_RecoverySweep'.
 #
 # The build directory can be overridden with BUILD_DIR (default: build).
 set -eu
@@ -14,6 +20,22 @@ repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${BUILD_DIR:-"$repo_root/build"}
 bench_bin="$build_dir/bench/bench_micro_codec"
 out_file="$repo_root/BENCH_0002_micro_codec.json"
+filter=""
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --out)
+        out_arg=${2:?"--out requires a file argument"}
+        # Absolute paths pass through; relative ones root at the repo.
+        case "$out_arg" in
+          /*) out_file="$out_arg" ;;
+          *)  out_file="$repo_root/$out_arg" ;;
+        esac
+        shift 2 ;;
+      --filter) filter=${2:?"--filter requires a regex argument"}; shift 2 ;;
+      *) break ;;
+    esac
+done
 label=${1:-"$(date +%Y-%m-%d) run"}
 
 if [ ! -x "$bench_bin" ]; then
@@ -23,7 +45,12 @@ fi
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-"$bench_bin" --benchmark_format=json >"$raw"
+if [ -n "$filter" ]; then
+    "$bench_bin" --benchmark_filter="$filter" \
+                 --benchmark_format=json >"$raw"
+else
+    "$bench_bin" --benchmark_format=json >"$raw"
+fi
 
 commit=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)
 

@@ -1,0 +1,21 @@
+#include "cpu/cmp_batch.hh"
+
+#include "common/parallel.hh"
+
+namespace tdc
+{
+
+std::vector<CmpSimResult>
+runCmpBatch(const std::vector<CmpRunSpec> &specs, uint64_t cycles)
+{
+    std::vector<CmpSimResult> results(specs.size());
+    parallelFor(specs.size(), [&](size_t i) {
+        const CmpRunSpec &spec = specs[i];
+        CmpSimulator sim(spec.machine, spec.workload, spec.protection,
+                         spec.seed);
+        results[i] = sim.run(cycles);
+    });
+    return results;
+}
+
+} // namespace tdc

@@ -1,8 +1,8 @@
 #include "ecc/bch.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
-#include <map>
 #include <set>
 
 namespace tdc
@@ -99,6 +99,43 @@ BchCode::BchCode(size_t data_bits, size_t t)
         }
     }
 
+    // Per-byte syndrome contribution tables. For byte index bi of the
+    // received word, entry (bi, v) is the XOR of the per-bit
+    // contributions alpha^(j*p) of every set bit of v to each odd
+    // syndrome S_j (j = 1, 3, .., 2t-1); p is the polynomial position
+    // of the bit under the [data | check] layout. Built by the
+    // classic subset-DP: tab[v] = tab[v & (v-1)] ^ perBit[ctz(v)].
+    if (tCap <= kMaxT) {
+        const size_t n = k + r;
+        const size_t num_bytes = (n + 7) / 8;
+        syndTable.assign(num_bytes * 256 * tCap, 0);
+        std::vector<uint32_t> per_bit(8 * tCap);
+        for (size_t bi = 0; bi < num_bytes; ++bi) {
+            for (size_t u = 0; u < 8; ++u) {
+                const size_t b = bi * 8 + u;
+                for (size_t j = 0; j < tCap; ++j) {
+                    // Bits past n never occur in a valid codeword;
+                    // zero keeps their (unreachable) entries harmless.
+                    per_bit[u * tCap + j] =
+                        b >= n ? 0
+                               : field->alphaPow(int64_t(2 * j + 1) *
+                                                 int64_t(b < k ? r + b
+                                                               : b - k));
+                }
+            }
+            uint32_t *base = &syndTable[(bi << 8) * tCap];
+            for (uint32_t v = 1; v < 256; ++v) {
+                const uint32_t rest = v & (v - 1);
+                const size_t u = size_t(std::countr_zero(v));
+                const uint32_t *lo = &base[rest * tCap];
+                const uint32_t *bit = &per_bit[u * tCap];
+                uint32_t *dst = &base[v * tCap];
+                for (size_t j = 0; j < tCap; ++j)
+                    dst[j] = lo[j] ^ bit[j];
+            }
+        }
+    }
+
     // Cache the fan-in of each systematic check equation: the column
     // of data bit j is x^(r+j) mod g(x); row i's weight counts the
     // data bits whose column has coefficient i set.
@@ -149,15 +186,313 @@ BchCode::computeCheck(const BitVector &data) const
     return polyRemainder(data);
 }
 
-const std::vector<uint32_t> &
-BchCode::syndromes(const BitVector &codeword) const
+bool
+BchCode::syndromesFast(const BitVector &codeword, uint32_t *synd) const
+{
+    // Odd syndromes: one table row XOR per nonzero received byte.
+    uint32_t odd[kMaxT] = {};
+    const uint64_t *words = codeword.wordData();
+    const size_t num_bytes = (k + r + 7) / 8;
+    for (size_t bi = 0; bi < num_bytes; ++bi) {
+        const uint32_t v =
+            uint32_t(words[bi / 8] >> ((bi % 8) * 8)) & 0xFF;
+        if (v == 0)
+            continue;
+        const uint32_t *row = &syndTable[((bi << 8) | v) * tCap];
+        for (size_t j = 0; j < tCap; ++j)
+            odd[j] ^= row[j];
+    }
+
+    // Binary received polynomial => S_2j = S_j^2 (Frobenius), so the
+    // even half costs t squarings instead of t more table passes.
+    uint32_t any = 0;
+    for (size_t j = 1; j <= 2 * tCap; ++j) {
+        const uint32_t s =
+            j % 2 == 1 ? odd[(j - 1) / 2] : field->sqr(synd[j / 2 - 1]);
+        synd[j - 1] = s;
+        any |= s;
+    }
+    return any == 0;
+}
+
+size_t
+BchCode::berlekampMasseyFast(const uint32_t *synd, uint32_t *loc) const
+{
+    // Inversion-free Berlekamp-Massey: the classic update
+    //   C'(x) = C(x) - (d/b) x^gap B(x)
+    // is replaced by C'(x) = b*C(x) - d*x^gap*B(x), trading the
+    // division (log/exp round trips through GF2m::div on every
+    // discrepancy) for one extra mulColumn. The locator comes out
+    // scaled by a nonzero constant, which moves no root. All buffers
+    // live on the stack and every loop runs over the tracked active
+    // length, not the worst-case kBmLen.
+    uint32_t prev[kBmLen] = {1};  // B(x)
+    uint32_t next[kBmLen];        // C'(x) scratch
+    for (size_t i = 0; i < kBmLen; ++i)
+        loc[i] = 0;
+    loc[0] = 1; // C(x)
+    size_t len_c = 1;  // active coefficients of C (tail is zero)
+    size_t len_b = 1;  // active coefficients of B
+    size_t lfsr_len = 0;
+    size_t gap = 1;
+    uint32_t prev_disc = 1;
+
+    for (size_t step = 0; step < 2 * tCap; ++step) {
+        // The scaled locator no longer has C[0] == 1, so the i = 0
+        // term of the discrepancy is a real multiplication too.
+        uint32_t disc = field->mul(loc[0], synd[step]);
+        for (size_t i = 1; i <= lfsr_len; ++i) {
+            if (loc[i] != 0 && synd[step - i] != 0)
+                disc ^= field->mul(loc[i], synd[step - i]);
+        }
+        if (disc == 0) {
+            ++gap;
+            continue;
+        }
+
+        const size_t len_t =
+            std::min(kBmLen, std::max(len_c, len_b + gap));
+        field->mulColumn(prev_disc, loc, next, len_t);
+        const uint32_t ld = field->log(disc);
+        for (size_t i = 0; i + gap < len_t; ++i) {
+            if (prev[i] != 0)
+                next[i + gap] ^=
+                    field->expDirect(ld + field->log(prev[i]));
+        }
+
+        if (2 * lfsr_len <= step) {
+            for (size_t i = 0; i < len_c; ++i)
+                prev[i] = loc[i];
+            len_b = len_c;
+            prev_disc = disc;
+            lfsr_len = step + 1 - lfsr_len;
+            gap = 1;
+        } else {
+            ++gap;
+        }
+        for (size_t i = 0; i < len_t; ++i)
+            loc[i] = next[i];
+        len_c = std::max(len_c, len_t);
+    }
+
+    size_t deg = 0;
+    for (size_t i = 0; i < len_c; ++i) {
+        if (loc[i] != 0)
+            deg = i;
+    }
+    return deg;
+}
+
+bool
+BchCode::locateClosed(const uint32_t *loc, size_t deg,
+                      std::vector<size_t> &positions) const
+{
+    const GF2m &gf = *field;
+    const uint32_t order = gf.order();
+    const size_t n = k + r;
+
+    // Roots are x = alpha^-p: position p = (order - log x) mod order,
+    // valid only when p < n. The locator's constant term is nonzero
+    // (invariant of BM and preserved by deflation: 0 is never a
+    // root), so x = 0 never occurs.
+    const auto push_root = [&](uint32_t x) {
+        const uint32_t lx = gf.log(x);
+        const uint32_t p = lx == 0 ? 0 : order - lx;
+        if (p >= n)
+            return false;
+        positions.push_back(p);
+        return true;
+    };
+
+    if (deg == 1) {
+        // loc0 + loc1 x = 0  =>  x = loc0/loc1.
+        return push_root(gf.div(loc[0], loc[1]));
+    }
+
+    if (deg == 2) {
+        // x^2 + a x + b with a = loc1/loc2, b = loc0/loc2. a == 0
+        // means a repeated root: two distinct error positions cannot
+        // exist.
+        if (loc[1] == 0)
+            return false;
+        const uint32_t a = gf.div(loc[1], loc[2]);
+        const uint32_t b = gf.div(loc[0], loc[2]);
+        // Substitute x = a*y: y^2 + y + b/a^2 = 0.
+        const uint32_t y0 = gf.solveQuadratic(gf.div(b, gf.sqr(a)));
+        if (y0 == GF2m::kNoRoot)
+            return false;
+        return push_root(gf.mul(a, y0)) && push_root(gf.mul(a, y0 ^ 1));
+    }
+
+    {
+        // Berlekamp's closed form. Monic: x^3 + a x^2 + b x + c;
+        // substituting x = y + a gives the depressed cubic
+        // y^3 + P y + Q with P = a^2 + b, Q = a*b + c.
+        const uint32_t a = gf.div(loc[2], loc[3]);
+        const uint32_t b = gf.div(loc[1], loc[3]);
+        const uint32_t c = gf.div(loc[0], loc[3]);
+        const uint32_t P = gf.sqr(a) ^ b;
+        const uint32_t Q = gf.mul(a, b) ^ c;
+
+        if (Q == 0) {
+            // y (y^2 + P) = 0: y = 0 plus a double root sqrt(P) —
+            // never three distinct roots.
+            return false;
+        }
+
+        // Multiplying by y gives L(y) = y^4 + P y^2 + Q y, whose
+        // nonzero roots are exactly the cubic's (0 is no cubic root:
+        // Q != 0). Squaring and constant multiplication are
+        // GF(2)-linear, so L's root set is the kernel of an m x m bit
+        // matrix over GF(2): the cubic splits with distinct roots iff
+        // that kernel has dimension 2, and its three nonzero elements
+        // are the roots. A dozen-row Gaussian elimination — uniform
+        // over every field, no trace-case analysis.
+        const unsigned m = gf.degree();
+        uint32_t piv_col[12];  // reduced columns with a pivot
+        uint32_t piv_comb[12]; // input combination producing each
+        int pivot_of_bit[12];
+        for (unsigned i = 0; i < m; ++i)
+            pivot_of_bit[i] = -1;
+        size_t num_piv = 0;
+        uint32_t kernel[2];
+        size_t kdim = 0;
+        for (unsigned i = 0; i < m; ++i) {
+            const uint32_t e = uint32_t(1) << i;
+            uint32_t v = gf.sqr(gf.sqr(e)) ^ gf.mul(P, gf.sqr(e)) ^
+                         gf.mul(Q, e);
+            uint32_t comb = e;
+            while (v != 0) {
+                const int hb = int(std::bit_width(v)) - 1;
+                const int j = pivot_of_bit[hb];
+                if (j < 0)
+                    break;
+                v ^= piv_col[j];
+                comb ^= piv_comb[j];
+            }
+            if (v != 0) {
+                piv_col[num_piv] = v;
+                piv_comb[num_piv] = comb;
+                pivot_of_bit[std::bit_width(v) - 1] = int(num_piv);
+                ++num_piv;
+            } else {
+                if (kdim < 2)
+                    kernel[kdim] = comb;
+                ++kdim;
+            }
+        }
+        if (kdim != 2)
+            return false; // at most one root: cannot split
+        const uint32_t roots_y[3] = {kernel[0], kernel[1],
+                                     kernel[0] ^ kernel[1]};
+        for (uint32_t y : roots_y) {
+            if (!push_root(y ^ a)) // x = y + a
+                return false;
+        }
+        return true;
+    }
+}
+
+bool
+BchCode::locateErrors(const uint32_t *loc, size_t deg_l,
+                      std::vector<size_t> &positions) const
+{
+    positions.clear();
+    if (deg_l == 0)
+        return true; // no errors located
+    if (deg_l > tCap)
+        return false;
+
+    const GF2m &gf = *field;
+    const uint32_t order = gf.order();
+    const size_t n = k + r;
+
+    uint32_t work[kBmLen];
+    for (size_t i = 0; i <= deg_l; ++i)
+        work[i] = loc[i];
+    size_t deg = deg_l;
+
+    // Incremental (log-domain) Chien sweep for degrees the closed
+    // forms do not reach: term i of L(alpha^-p) is
+    // alpha^(log loc_i - i*p), so stepping p -> p+1 adds the constant
+    // (order - i) to each term's exponent — no Horner pass, no
+    // modular arithmetic beyond a wrap subtraction. Every root found
+    // is deflated out of the locator (synthetic division), shrinking
+    // the term count, until three roots remain for the cubic solver.
+    size_t p = 0;
+    while (deg > 3) {
+        uint32_t exps[kBmLen];
+        uint32_t steps[kBmLen];
+        size_t terms = 0;
+        for (size_t i = 0; i <= deg; ++i) {
+            if (work[i] == 0)
+                continue;
+            exps[terms] = uint32_t(
+                (gf.log(work[i]) +
+                 uint64_t(order - uint32_t(i % order)) * p) %
+                order);
+            steps[terms] = order - uint32_t(i % order);
+            ++terms;
+        }
+
+        bool found = false;
+        for (; p < n; ++p) {
+            uint32_t v = 0;
+            for (size_t j = 0; j < terms; ++j)
+                v ^= gf.expDirect(exps[j]);
+            if (v == 0) {
+                positions.push_back(p);
+                // Deflate by the root x0 = alpha^-p and restart the
+                // sweep state from the next position.
+                const uint32_t x0 =
+                    gf.expDirect(p == 0 ? 0 : order - uint32_t(p));
+                uint32_t carry = work[deg]; // quotient coeff q[deg-1]
+                for (size_t i = deg - 1;; --i) {
+                    const uint32_t tmp = work[i];
+                    work[i] = carry;
+                    if (i == 0)
+                        break;
+                    carry = tmp ^ gf.mul(x0, carry);
+                }
+                --deg;
+                ++p;
+                found = true;
+                break;
+            }
+            for (size_t j = 0; j < terms; ++j) {
+                exps[j] += steps[j];
+                if (exps[j] >= order)
+                    exps[j] -= order;
+            }
+        }
+        if (!found) {
+            // Fewer roots in [0, n) than the degree demands: the
+            // locator does not split over the field (> t errors) or a
+            // root sits in the shortened region. Both uncorrectable.
+            return false;
+        }
+    }
+
+    if (!locateClosed(work, deg, positions))
+        return false;
+
+    std::sort(positions.begin(), positions.end());
+    // Coincident positions mean a repeated root: the locator cannot
+    // describe deg_l distinct error locations.
+    for (size_t i = 1; i < positions.size(); ++i) {
+        if (positions[i] == positions[i - 1])
+            return false;
+    }
+    return true;
+}
+
+std::vector<uint32_t>
+BchCode::syndromesNaive(const BitVector &codeword) const
 {
     // Coefficient position of codeword bit b: check bits occupy
     // coefficients 0..r-1, data bits r..r+k-1. Iterate only the set
-    // bits via word scans (codewords are mostly dense, but the scan
-    // still replaces a per-bit branch with countr_zero).
-    std::vector<uint32_t> &synd = syndScratch;
-    synd.assign(2 * tCap, 0);
+    // bits via word scans.
+    std::vector<uint32_t> synd(2 * tCap, 0);
     const uint64_t *words = codeword.wordData();
     for (size_t w = 0, n = codeword.wordCount(); w < n; ++w) {
         uint64_t x = words[w];
@@ -226,20 +561,20 @@ BchCode::chienSearch(const GFPoly &locator,
     if (degL > tCap)
         return false;
 
-    // Roots of the locator are alpha^(-p) for error position p. Scan
-    // the full primitive length; roots beyond the shortened length
-    // mean the error pattern is inconsistent with this code.
+    // Roots of the locator are alpha^(-p) for error position p. Only
+    // p < n can correspond to a codeword bit, so scanning stops there
+    // (not at the full group order 2^m - 1): a root in the shortened
+    // region simply never shows up and the count check below flags
+    // the word, same verdict as the old full scan at a fraction of
+    // the work.
     positions.clear();
-    for (uint32_t p = 0; p < field->order(); ++p) {
+    for (uint32_t p = 0; p < k + r; ++p) {
         if (locator.eval(*field, field->alphaPow(-int64_t(p))) == 0)
             positions.push_back(p);
     }
     if (positions.size() != degL)
-        return false; // locator does not split: > t errors
-    for (size_t p : positions) {
-        if (p >= k + r)
-            return false; // error "in" the shortened region
-    }
+        return false; // does not split in range: > t errors or
+                      // shortened-region root
     return true;
 }
 
@@ -247,10 +582,45 @@ DecodeResult
 BchCode::decode(const BitVector &codeword) const
 {
     assert(codeword.size() == k + r);
+    if (syndTable.empty())
+        return decodeNaive(codeword); // exotic t > kMaxT
+
     DecodeResult result;
     result.data = codeword.slice(0, k);
 
-    const std::vector<uint32_t> &synd = syndromes(codeword);
+    uint32_t synd[2 * kMaxT];
+    if (syndromesFast(codeword, synd)) {
+        result.status = DecodeStatus::kClean;
+        return result;
+    }
+
+    uint32_t locator[kBmLen];
+    const size_t deg_l = berlekampMasseyFast(synd, locator);
+    std::vector<size_t> positions;
+    if (!locateErrors(locator, deg_l, positions) || positions.empty()) {
+        result.status = DecodeStatus::kDetectedUncorrectable;
+        return result;
+    }
+
+    for (size_t p : positions) {
+        // Coefficient position -> codeword bit index.
+        const size_t bit = p < r ? k + p : p - r;
+        if (bit < k)
+            result.data.flip(bit);
+        result.correctedPositions.push_back(bit);
+    }
+    result.status = DecodeStatus::kCorrected;
+    return result;
+}
+
+DecodeResult
+BchCode::decodeNaive(const BitVector &codeword) const
+{
+    assert(codeword.size() == k + r);
+    DecodeResult result;
+    result.data = codeword.slice(0, k);
+
+    const std::vector<uint32_t> synd = syndromesNaive(codeword);
     bool all_zero = true;
     for (uint32_t s : synd) {
         if (s != 0) {

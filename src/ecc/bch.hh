@@ -51,7 +51,28 @@ class BchCode : public Code
     size_t dataBits() const override { return k; }
     size_t checkBits() const override { return r; }
     BitVector computeCheck(const BitVector &data) const override;
+
+    /**
+     * Table-driven decode engine: odd syndromes from per-byte
+     * contribution tables (even ones by Frobenius squaring),
+     * inversion-free Berlekamp-Massey on fixed stack buffers, and
+     * error location by closed-form solvers for locator degrees 1-3
+     * with a log-domain incremental Chien sweep (bounded to the
+     * shortened length n, early exit at deg(locator) roots) above
+     * that. Bit-exact against decodeNaive by construction and by the
+     * differential test suite.
+     */
     DecodeResult decode(const BitVector &codeword) const override;
+
+    /**
+     * The original element-at-a-time decoder (per-bit Horner
+     * syndromes, polynomial Berlekamp-Massey, full-scan Chien),
+     * retained as the differential-test oracle for decode() — the
+     * same role the per-bit interleave fallback plays for the
+     * word-parallel access path.
+     */
+    DecodeResult decodeNaive(const BitVector &codeword) const;
+
     size_t correctCapability() const override { return tCap; }
     size_t detectCapability() const override { return tCap; }
     std::string name() const override;
@@ -72,24 +93,68 @@ class BchCode : public Code
     size_t totalRowWeight() const;
 
   private:
+    /**
+     * Largest t the table engine supports; every geometry in the
+     * study is t <= 8. Exotic larger-t constructions silently fall
+     * back to the naive path.
+     */
+    static constexpr size_t kMaxT = 12;
+
+    /**
+     * Fixed length of the Berlekamp-Massey stack buffers. Locator
+     * degree is bounded by 2t and the x^gap shift by another 2t, so
+     * 4t + 2 covers every intermediate polynomial.
+     */
+    static constexpr size_t kBmLen = 4 * kMaxT + 2;
+
     /** Divide x^r * d(x) by g(x) over GF(2), returning the remainder. */
     BitVector polyRemainder(const BitVector &data) const;
 
     /**
-     * Syndromes S_1..S_2t of the received polynomial, written into the
-     * cached scratch buffer (one heap allocation per codec lifetime
-     * instead of one per decode; decode is therefore not thread-safe
-     * per instance, like the rest of the per-word scratch).
+     * Table engine: S_1..S_2t into @p synd (length 2t). Returns true
+     * iff all syndromes are zero.
      */
-    const std::vector<uint32_t> &syndromes(const BitVector &codeword) const;
+    bool syndromesFast(const BitVector &codeword, uint32_t *synd) const;
 
-    /** Berlekamp-Massey: error-locator polynomial from syndromes. */
+    /**
+     * Inversion-free Berlekamp-Massey: writes a (scaled) locator into
+     * @p loc (length kBmLen) and returns its degree. The scaling by
+     * nonzero discrepancies leaves the root set — and therefore the
+     * decode outcome — identical to the classic normalization.
+     */
+    size_t berlekampMasseyFast(const uint32_t *synd, uint32_t *loc) const;
+
+    /**
+     * Error positions (polynomial coefficient indices, ascending) of
+     * the locator's roots. Degrees 1-3 go straight to closed-form
+     * solvers; higher degrees run the log-domain incremental Chien
+     * sweep over p in [0, n), deflating the locator at every root
+     * until three remain for the cubic solver. False on degree/
+     * root-count mismatch or any root outside the shortened length.
+     */
+    bool locateErrors(const uint32_t *loc, size_t deg_l,
+                      std::vector<size_t> &positions) const;
+
+    /**
+     * Closed-form root solver for locator degree 1 (direct log), 2
+     * (quadratic y^2+y=c table) and 3 (kernel of the linearized
+     * y^4+Py^2+Qy). Appends coefficient positions unsorted; false if
+     * the locator cannot have deg distinct in-range roots.
+     */
+    bool locateClosed(const uint32_t *loc, size_t deg,
+                      std::vector<size_t> &positions) const;
+
+    /** Naive-path syndromes S_1..S_2t (per-bit Horner; the oracle). */
+    std::vector<uint32_t> syndromesNaive(const BitVector &codeword) const;
+
+    /** Naive-path Berlekamp-Massey (polynomial arithmetic). */
     GFPoly berlekampMassey(const std::vector<uint32_t> &synd) const;
 
     /**
-     * Chien search: error positions (polynomial coefficient indices)
-     * of the locator's roots. Returns false on degree/root mismatch
-     * or out-of-range position.
+     * Naive-path Chien search. Scans p in [0, n): a root at a
+     * shortened position p >= n simply never shows up, which the
+     * root-count check then flags — equivalent to (and cheaper than)
+     * scanning the full multiplicative group.
      */
     bool chienSearch(const GFPoly &locator,
                      std::vector<size_t> &positions) const;
@@ -113,8 +178,16 @@ class BchCode : public Code
     /** Low r bits of g(x) as a word (valid iff byteTable nonempty). */
     uint64_t genLow = 0;
 
-    /** Per-decode scratch, cached across calls (see syndromes()). */
-    mutable std::vector<uint32_t> syndScratch;
+    /**
+     * Per-byte odd-syndrome contribution tables (the Hsiao shape
+     * lifted to GF(2^m)): entry [(byte_index << 8 | byte_value) * t
+     * + j] is the contribution of that received byte to S_{2j+1}.
+     * Even syndromes follow by squaring (S_2j = S_j^2 for binary
+     * codes), so a full syndrome set costs ceil(n/8) table rows of t
+     * XORs plus t squarings instead of one Horner pass per set bit.
+     * Empty when t > kMaxT (naive fallback).
+     */
+    std::vector<uint32_t> syndTable;
 };
 
 /**

@@ -52,6 +52,16 @@ GF2m::GF2m(unsigned m_)
     // Duplicate the table so mul can skip one modular reduction.
     for (uint32_t i = order(); i < 2 * order(); ++i)
         expTable[i] = expTable[i - order()];
+
+    // Quadratic-solution table: y^2 + y covers exactly the trace-zero
+    // half of the field; iterating y ascending records the smaller
+    // root of each reachable c.
+    qrtTable.assign(fieldSize, kNoRoot);
+    for (uint32_t y = 0; y < fieldSize; ++y) {
+        const uint32_t c = sqr(y) ^ y;
+        if (qrtTable[c] == kNoRoot)
+            qrtTable[c] = y;
+    }
 }
 
 uint32_t
@@ -92,6 +102,20 @@ GF2m::log(uint32_t a) const
 {
     assert(a != 0);
     return logTable[a];
+}
+
+void
+GF2m::mulColumn(uint32_t a, const uint32_t *in, uint32_t *out,
+                size_t n) const
+{
+    if (a == 0) {
+        for (size_t i = 0; i < n; ++i)
+            out[i] = 0;
+        return;
+    }
+    const uint32_t la = logTable[a];
+    for (size_t i = 0; i < n; ++i)
+        out[i] = in[i] == 0 ? 0 : expTable[la + logTable[in[i]]];
 }
 
 uint32_t

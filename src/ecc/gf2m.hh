@@ -42,11 +42,44 @@ class GF2m
     /** alpha^e for any integer exponent (reduced mod order). */
     uint32_t alphaPow(int64_t e) const;
 
+    /**
+     * alpha^e for an already-reduced exponent 0 <= e < 2*order():
+     * a single table read, no modular reduction. The decode hot loops
+     * (Chien sweep, syndrome squaring chains) maintain exponents in
+     * this range themselves.
+     */
+    uint32_t expDirect(uint32_t e) const { return expTable[e]; }
+
     /** Discrete log base alpha. @pre a != 0 */
     uint32_t log(uint32_t a) const;
 
     /** a^e for field element a. */
     uint32_t pow(uint32_t a, int64_t e) const;
+
+    /** a^2: one log and one exp read (Frobenius map). */
+    uint32_t sqr(uint32_t a) const
+    {
+        return a == 0 ? 0 : expTable[2 * logTable[a]];
+    }
+
+    /**
+     * Batch scale: out[i] = a * in[i] for i in [0, n). The log of
+     * @p a is hoisted out of the loop, so each element costs one log
+     * and one exp table read. Aliasing out == in is allowed.
+     */
+    void mulColumn(uint32_t a, const uint32_t *in, uint32_t *out,
+                   size_t n) const;
+
+    /** Sentinel returned by solveQuadratic when no root exists. */
+    static constexpr uint32_t kNoRoot = 0xFFFFFFFFu;
+
+    /**
+     * The smaller root y of y^2 + y = c (the other is y ^ 1), or
+     * kNoRoot when c has no such decomposition (odd trace). One table
+     * read; the backbone of the closed-form quadratic/cubic error
+     * locators.
+     */
+    uint32_t solveQuadratic(uint32_t c) const { return qrtTable[c]; }
 
     /** The primitive polynomial used (bit i = coefficient of x^i). */
     uint32_t primitivePoly() const { return primPoly; }
@@ -57,6 +90,7 @@ class GF2m
     uint32_t primPoly;
     std::vector<uint32_t> expTable; // expTable[i] = alpha^i, 0..2*order
     std::vector<uint32_t> logTable; // logTable[a] = log_alpha(a)
+    std::vector<uint32_t> qrtTable; // qrtTable[c] = min y: y^2+y=c
 };
 
 /**

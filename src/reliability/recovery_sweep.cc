@@ -1,0 +1,100 @@
+#include "reliability/recovery_sweep.hh"
+
+#include <vector>
+
+#include "array/fault.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "core/twod_array.hh"
+
+namespace tdc
+{
+
+namespace
+{
+
+/** Per-trial outcome, reduced in trial order after the parallel run. */
+struct TrialOutcome
+{
+    bool recovered = false;
+    bool silent = false;
+    uint64_t rowReads = 0;
+    uint64_t rowsReconstructed = 0;
+    uint64_t columnsRepaired = 0;
+};
+
+TrialOutcome
+runTrial(const RecoverySweepParams &p, size_t trial)
+{
+    TrialOutcome out;
+    Rng rng(shardSeed(p.seed, trial));
+
+    TwoDimArray arr(p.config);
+    std::vector<std::vector<BitVector>> golden(
+        arr.rows(), std::vector<BitVector>(arr.wordsPerRow()));
+    for (size_t r = 0; r < arr.rows(); ++r) {
+        for (size_t s = 0; s < arr.wordsPerRow(); ++s) {
+            BitVector d(arr.dataBits());
+            for (size_t w = 0; w < arr.dataBits(); w += 64) {
+                const size_t len = std::min<size_t>(64, arr.dataBits() - w);
+                d.setSlice(w, BitVector(len, rng.next()));
+            }
+            arr.writeWord(r, s, d);
+            golden[r][s] = std::move(d);
+        }
+    }
+
+    FaultInjector inj(rng);
+    inj.injectCluster(arr.cells(), p.clusterWidth, p.clusterHeight,
+                      p.clusterDensity);
+
+    const bool scrubbed = arr.scrub();
+    if (arr.stats().recoveries > 0) {
+        const RecoveryReport &rep = arr.lastRecovery();
+        out.rowReads = rep.rowReads;
+        out.rowsReconstructed = rep.rowsReconstructed.size();
+        out.columnsRepaired = rep.columnsRepaired.size();
+    }
+
+    // Full verification pass: every word is read back so a silently
+    // wrong word is counted even when a detected (flagged) word comes
+    // first in scan order.
+    bool any_bad = !scrubbed;
+    for (size_t r = 0; r < arr.rows(); ++r) {
+        for (size_t s = 0; s < arr.wordsPerRow(); ++s) {
+            const AccessResult res = arr.readWord(r, s);
+            if (!res.ok())
+                any_bad = true;
+            else if (res.data != golden[r][s])
+                out.silent = any_bad = true;
+        }
+    }
+    out.recovered = !any_bad;
+    return out;
+}
+
+} // namespace
+
+RecoverySweepResult
+runRecoverySweep(const RecoverySweepParams &params)
+{
+    const size_t n = params.trials < 0 ? 0 : size_t(params.trials);
+    std::vector<TrialOutcome> outcomes(n);
+    parallelFor(n, [&](size_t trial) {
+        outcomes[trial] = runTrial(params, trial);
+    });
+
+    RecoverySweepResult result;
+    for (const TrialOutcome &o : outcomes) {
+        ++result.trials;
+        result.recovered += o.recovered;
+        result.detectedOnly += !o.recovered && !o.silent;
+        result.silent += o.silent;
+        result.rowReads += o.rowReads;
+        result.rowsReconstructed += o.rowsReconstructed;
+        result.columnsRepaired += o.columnsRepaired;
+    }
+    return result;
+}
+
+} // namespace tdc

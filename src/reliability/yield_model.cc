@@ -1,9 +1,12 @@
 #include "reliability/yield_model.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <unordered_map>
 #include <vector>
+
+#include "common/parallel.hh"
 
 namespace tdc
 {
@@ -70,26 +73,84 @@ YieldModel::yieldEccPlusSpares(double faults, size_t spares) const
     return poissonCdf(expectedMultiFaultWords(faults), double(spares));
 }
 
+YieldModel::TrialCounts
+YieldModel::scatterTrial(size_t faults, Rng &rng,
+                         std::unordered_map<uint64_t, unsigned> &hit)
+    const
+{
+    // Scatter faults; count per-word multiplicities.
+    hit.clear();
+    for (size_t f = 0; f < faults; ++f) {
+        const uint64_t bit = rng.nextBelow(p.totalBits());
+        ++hit[bit / p.wordBits];
+    }
+    TrialCounts counts;
+    counts.any = hit.size();
+    for (const auto &[word, count] : hit)
+        counts.multi += count >= 2;
+    return counts;
+}
+
 YieldModel::McResult
 YieldModel::monteCarlo(size_t faults, size_t spares, int trials,
                        Rng &rng) const
 {
     McResult out;
+    std::unordered_map<uint64_t, unsigned> hit;
+    hit.reserve(faults * 2);
     for (int t = 0; t < trials; ++t) {
-        // Scatter faults; count per-word multiplicities.
+        const TrialCounts counts = scatterTrial(faults, rng, hit);
+        out.spareOnly += counts.any <= spares ? 1.0 : 0.0;
+        out.eccOnly += counts.multi == 0 ? 1.0 : 0.0;
+        out.eccPlusSpares += counts.multi <= spares ? 1.0 : 0.0;
+    }
+    out.spareOnly /= trials;
+    out.eccOnly /= trials;
+    out.eccPlusSpares /= trials;
+    return out;
+}
+
+YieldModel::McResult
+YieldModel::monteCarloParallel(size_t faults, size_t spares, int trials,
+                               uint64_t seed) const
+{
+    McResult out;
+    if (trials <= 0)
+        return out;
+
+    // One trial scatters O(faults) cells into a hash map, so trials
+    // are chunky; shard a handful per stream. The shard size is fixed
+    // (never derived from the thread count) to keep the trial ->
+    // RNG-stream mapping thread-count-invariant.
+    constexpr int kShardTrials = 4;
+    const size_t shards = size_t((trials + kShardTrials - 1) / kShardTrials);
+    struct Counts
+    {
+        int spareOnly = 0;
+        int eccOnly = 0;
+        int eccPlusSpares = 0;
+    };
+    std::vector<Counts> counts(shards);
+    parallelFor(shards, [&](size_t s) {
+        Rng rng(shardSeed(seed, s));
+        const int lo = int(s) * kShardTrials;
+        const int hi = std::min(trials, lo + kShardTrials);
+        Counts c;
         std::unordered_map<uint64_t, unsigned> hit;
         hit.reserve(faults * 2);
-        for (size_t f = 0; f < faults; ++f) {
-            const uint64_t bit = rng.nextBelow(p.totalBits());
-            ++hit[bit / p.wordBits];
+        for (int t = lo; t < hi; ++t) {
+            const TrialCounts trial = scatterTrial(faults, rng, hit);
+            c.spareOnly += trial.any <= spares;
+            c.eccOnly += trial.multi == 0;
+            c.eccPlusSpares += trial.multi <= spares;
         }
-        size_t any = hit.size();
-        size_t multi = 0;
-        for (const auto &[word, count] : hit)
-            multi += count >= 2;
-        out.spareOnly += any <= spares ? 1.0 : 0.0;
-        out.eccOnly += multi == 0 ? 1.0 : 0.0;
-        out.eccPlusSpares += multi <= spares ? 1.0 : 0.0;
+        counts[s] = c;
+    });
+
+    for (const Counts &c : counts) {
+        out.spareOnly += c.spareOnly;
+        out.eccOnly += c.eccOnly;
+        out.eccPlusSpares += c.eccPlusSpares;
     }
     out.spareOnly /= trials;
     out.eccOnly /= trials;

@@ -14,6 +14,8 @@
 #define TDC_RELIABILITY_YIELD_MODEL_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <unordered_map>
 
 #include "common/rng.hh"
 
@@ -85,9 +87,32 @@ class YieldModel
     McResult monteCarlo(size_t faults, size_t spares, int trials,
                         Rng &rng) const;
 
+    /**
+     * Threaded Monte-Carlo: fixed-size trial shards with per-shard
+     * counter-based RNG streams (shardSeed(seed, shard)), reduced in
+     * shard order — bit-identical at any thread count.
+     */
+    McResult monteCarloParallel(size_t faults, size_t spares, int trials,
+                                uint64_t seed) const;
+
   private:
     /** P(Poisson(mean) <= k) with a normal tail for large means. */
     static double poissonCdf(double mean, double k);
+
+    /**
+     * One Monte-Carlo trial: scatter @p faults cells and report how
+     * many words have any fault / multiple faults. Shared by the
+     * serial and threaded drivers so the trial model cannot diverge
+     * between them. @p hit is caller-provided scratch.
+     */
+    struct TrialCounts
+    {
+        size_t any = 0;
+        size_t multi = 0;
+    };
+    TrialCounts scatterTrial(size_t faults, Rng &rng,
+                             std::unordered_map<uint64_t, unsigned> &hit)
+        const;
 
     YieldParams p;
 };

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hh"
+
+namespace tdc
+{
+namespace
+{
+
+/** Restores the default thread count when a test exits. */
+struct ThreadGuard
+{
+    ~ThreadGuard() { setParallelThreads(0); }
+};
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    ThreadGuard guard;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        setParallelThreads(threads);
+        constexpr size_t kN = 1000;
+        std::vector<std::atomic<int>> hits(kN);
+        parallelFor(kN, [&](size_t i) { ++hits[i]; });
+        for (size_t i = 0; i < kN; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at "
+                                         << threads << " threads";
+    }
+}
+
+TEST(ParallelFor, ZeroAndSingleIteration)
+{
+    ThreadGuard guard;
+    setParallelThreads(4);
+    int calls = 0;
+    parallelFor(0, [&](size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, [&](size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, SetThreadsIsObservable)
+{
+    ThreadGuard guard;
+    setParallelThreads(3);
+    EXPECT_EQ(parallelThreads(), 3u);
+    setParallelThreads(0);
+    EXPECT_GE(parallelThreads(), 1u);
+}
+
+TEST(ParallelFor, PropagatesFirstException)
+{
+    ThreadGuard guard;
+    setParallelThreads(4);
+    EXPECT_THROW(parallelFor(64,
+                             [&](size_t i) {
+                                 if (i == 13)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+    // The pool must stay usable afterwards.
+    std::atomic<size_t> sum{0};
+    parallelFor(10, [&](size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ParallelFor, NestedCallsRunSerially)
+{
+    ThreadGuard guard;
+    setParallelThreads(4);
+    std::vector<std::atomic<int>> hits(16 * 8);
+    parallelFor(16, [&](size_t outer) {
+        parallelFor(8, [&](size_t inner) { ++hits[outer * 8 + inner]; });
+    });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ShardSeed, DeterministicAndDecorrelated)
+{
+    EXPECT_EQ(shardSeed(42, 7), shardSeed(42, 7));
+    EXPECT_NE(shardSeed(42, 7), shardSeed(42, 8));
+    EXPECT_NE(shardSeed(42, 7), shardSeed(43, 7));
+    // Adjacent (base, shard) pairs must not collide the way raw
+    // addition would: shardSeed(s, i+1) != shardSeed(s+stride, i).
+    EXPECT_NE(shardSeed(1, 2), shardSeed(2, 1));
+}
+
+} // namespace
+} // namespace tdc

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "cpu/cmp_batch.hh"
+
+namespace tdc
+{
+namespace
+{
+
+struct ThreadGuard
+{
+    ~ThreadGuard() { setParallelThreads(0); }
+};
+
+TEST(CmpBatch, MatchesIndividualRunsAtEveryThreadCount)
+{
+    ThreadGuard guard;
+    constexpr uint64_t kCycles = 20000;
+    const std::vector<WorkloadProfile> &workloads = standardWorkloads();
+    std::vector<CmpRunSpec> specs;
+    for (size_t i = 0; i < 3 && i < workloads.size(); ++i) {
+        specs.push_back({CmpConfig::fat(), workloads[i],
+                         ProtectionConfig::none(), 7});
+        specs.push_back({CmpConfig::lean(), workloads[i],
+                         ProtectionConfig::full(true), 7});
+    }
+
+    // Ground truth: direct serial simulation per spec.
+    std::vector<CmpSimResult> expected;
+    for (const CmpRunSpec &spec : specs) {
+        CmpSimulator sim(spec.machine, spec.workload, spec.protection,
+                         spec.seed);
+        expected.push_back(sim.run(kCycles));
+    }
+
+    for (unsigned threads : {1u, 2u, 4u}) {
+        setParallelThreads(threads);
+        const std::vector<CmpSimResult> got = runCmpBatch(specs, kCycles);
+        ASSERT_EQ(got.size(), expected.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].cycles, expected[i].cycles) << i;
+            EXPECT_EQ(got[i].instructions, expected[i].instructions)
+                << i << " at " << threads << " threads";
+            EXPECT_EQ(got[i].l1Writes, expected[i].l1Writes) << i;
+            EXPECT_EQ(got[i].l2Writes, expected[i].l2Writes) << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace tdc

@@ -93,6 +93,55 @@ TEST_P(GF2mFieldTest, PowMatchesRepeatedMul)
     }
 }
 
+TEST_P(GF2mFieldTest, SqrMatchesMul)
+{
+    // Squaring is a bijection in characteristic 2, so the sqr table
+    // shortcut must both agree with mul and enumerate every element.
+    std::vector<bool> seen(field.size(), false);
+    for (uint32_t a = 0; a < field.size(); ++a) {
+        const uint32_t s = field.sqr(a);
+        ASSERT_EQ(s, field.mul(a, a)) << a;
+        ASSERT_FALSE(seen[s]) << a;
+        seen[s] = true;
+    }
+}
+
+TEST_P(GF2mFieldTest, SolveQuadraticExhaustive)
+{
+    // Every c: either no y with y^2 + y = c (odd trace, exactly half
+    // the field) or the reported y and y^1 both solve it.
+    uint32_t solvable = 0;
+    for (uint32_t c = 0; c < field.size(); ++c) {
+        const uint32_t y = field.solveQuadratic(c);
+        if (y == GF2m::kNoRoot)
+            continue;
+        ++solvable;
+        ASSERT_EQ(uint32_t(field.sqr(y) ^ y), c);
+        const uint32_t y2 = y ^ 1;
+        ASSERT_EQ(uint32_t(field.sqr(y2) ^ y2), c);
+    }
+    EXPECT_EQ(solvable, field.size() / 2);
+}
+
+TEST_P(GF2mFieldTest, MulColumnMatchesScalarMul)
+{
+    Rng rng(GetParam());
+    std::vector<uint32_t> in(37), out(37);
+    for (auto &v : in)
+        v = uint32_t(rng.nextBelow(field.size()));
+    for (uint32_t a : {uint32_t(0), uint32_t(1),
+                       uint32_t(field.size() - 1), uint32_t(3)}) {
+        field.mulColumn(a, in.data(), out.data(), in.size());
+        for (size_t i = 0; i < in.size(); ++i)
+            ASSERT_EQ(out[i], field.mul(a, in[i]));
+    }
+    // Aliasing in-place is allowed.
+    std::vector<uint32_t> alias = in;
+    field.mulColumn(5, alias.data(), alias.data(), alias.size());
+    for (size_t i = 0; i < in.size(); ++i)
+        ASSERT_EQ(alias[i], field.mul(5, in[i]));
+}
+
 INSTANTIATE_TEST_SUITE_P(Degrees, GF2mFieldTest,
                          ::testing::Values(3, 4, 5, 6, 7, 8, 9, 10));
 

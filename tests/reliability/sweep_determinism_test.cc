@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Determinism contract of the threaded sweeps: counter-based RNG
+ * streams make every Monte-Carlo result a pure function of its
+ * parameters, so running with 1, 2, 4 or 8 workers must reproduce the
+ * serial counters bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "reliability/recovery_sweep.hh"
+#include "reliability/soft_error_model.hh"
+#include "reliability/yield_model.hh"
+
+namespace tdc
+{
+namespace
+{
+
+struct ThreadGuard
+{
+    ~ThreadGuard() { setParallelThreads(0); }
+};
+
+TEST(SweepDeterminism, RecoverySweepIdenticalAtEveryThreadCount)
+{
+    ThreadGuard guard;
+    RecoverySweepParams params;
+    params.trials = 12;
+    params.seed = 2026;
+    params.clusterWidth = 16;
+    params.clusterHeight = 16;
+
+    setParallelThreads(1);
+    const RecoverySweepResult serial = runRecoverySweep(params);
+    EXPECT_EQ(serial.trials, 12);
+    EXPECT_EQ(serial.recovered + serial.detectedOnly + serial.silent,
+              serial.trials);
+    // A 16x16 cluster is inside the guaranteed 32x32 coverage.
+    EXPECT_EQ(serial.recovered, serial.trials);
+
+    for (unsigned threads : {2u, 4u, 8u}) {
+        setParallelThreads(threads);
+        const RecoverySweepResult threaded = runRecoverySweep(params);
+        EXPECT_EQ(threaded, serial) << threads << " threads";
+    }
+}
+
+TEST(SweepDeterminism, BeyondCoverageClustersAreCountedNotSilent)
+{
+    ThreadGuard guard;
+    setParallelThreads(4);
+    // A solid 33x64 cluster breaks both guarantees (33 > 32 columns,
+    // 64 > 32 rows; every vertical group holds two full-width faulty
+    // rows whose parity contributions cancel), but the horizontal
+    // EDC8 still sees an odd bit count in every faulty word — the
+    // sweep must report the trials as detected, never silent.
+    RecoverySweepParams params;
+    params.trials = 6;
+    params.seed = 5;
+    params.clusterWidth = 33;
+    params.clusterHeight = 64;
+    const RecoverySweepResult res = runRecoverySweep(params);
+    EXPECT_EQ(res.trials, 6);
+    EXPECT_EQ(res.recovered, 0);
+    EXPECT_EQ(res.detectedOnly, 6);
+    EXPECT_EQ(res.silent, 0);
+}
+
+TEST(SweepDeterminism, SoftErrorMonteCarloIdenticalAtEveryThreadCount)
+{
+    ThreadGuard guard;
+    const SoftErrorModel model(ReliabilityParams::figure8b(1e-4));
+    setParallelThreads(1);
+    const double serial = model.monteCarloParallel(5.0, 2000, 77);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        setParallelThreads(threads);
+        EXPECT_EQ(model.monteCarloParallel(5.0, 2000, 77), serial)
+            << threads << " threads";
+    }
+    // And it still estimates the analytic curve.
+    EXPECT_NEAR(serial, model.successProbability(5.0), 0.05);
+}
+
+TEST(SweepDeterminism, YieldMonteCarloIdenticalAtEveryThreadCount)
+{
+    ThreadGuard guard;
+    YieldParams params;
+    params.words = 4096;
+    params.wordBits = 72;
+    const YieldModel model(params);
+    setParallelThreads(1);
+    const YieldModel::McResult serial =
+        model.monteCarloParallel(64, 4, 200, 11);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        setParallelThreads(threads);
+        const YieldModel::McResult threaded =
+            model.monteCarloParallel(64, 4, 200, 11);
+        EXPECT_EQ(threaded.spareOnly, serial.spareOnly);
+        EXPECT_EQ(threaded.eccOnly, serial.eccOnly);
+        EXPECT_EQ(threaded.eccPlusSpares, serial.eccPlusSpares);
+    }
+}
+
+} // namespace
+} // namespace tdc
