@@ -7,66 +7,29 @@
  * (c): extra dynamic energy per read for a 64kB array of 64-bit words
  *      and a 4MB array of 256-bit words, relative to an unprotected
  *      array of the same geometry.
+ *
+ * Both panels are declarative grids executed by the unified campaign
+ * driver (reliability/figure_campaigns.hh); the golden-pin tests run
+ * the very same builders.
  */
 
 #include <cstdio>
 
-#include "common/table.hh"
-#include "ecc/cost_model.hh"
-#include "vlsi/sram_model.hh"
-#include "vlsi/tech.hh"
+#include "reliability/figure_campaigns.hh"
 
 using namespace tdc;
-
-namespace
-{
-
-double
-extraEnergyPerRead(CodeKind kind, size_t capacity_bytes, size_t word_bits,
-                   size_t banks)
-{
-    const CodingCost cost = codingCost(kind, word_bits);
-    const SramMetrics plain =
-        cacheArrayMetrics(capacity_bytes, word_bits, 0, 2, banks,
-                          SramObjective::kBalanced);
-    const SramMetrics coded =
-        cacheArrayMetrics(capacity_bytes, word_bits, cost.checkBits, 2,
-                          banks, SramObjective::kBalanced);
-    const double coding_logic =
-        defaultTech().ePerGate * double(cost.detectGates);
-    return (coded.readEnergy + coding_logic) / plain.readEnergy - 1.0;
-}
-
-} // namespace
 
 int
 main()
 {
     std::printf("=== Figure 1(b): extra memory storage ===\n\n");
-    Table storage({"Code", "HD", "64b word", "256b word"});
-    for (CodeKind kind : kFigure1Kinds) {
-        const CodingCost c64 = codingCost(kind, 64);
-        const CodingCost c256 = codingCost(kind, 256);
-        storage.addRow({codeKindName(kind),
-                        std::to_string(makeCode(kind, 64)->minDistance()),
-                        Table::pct(c64.storageOverhead),
-                        Table::pct(c256.storageOverhead)});
-    }
-    storage.print();
+    figure1StorageCampaign().print();
     std::printf("\nPaper shape: storage grows steeply with correction "
                 "strength; 64b words pay\nproportionally more "
                 "(OECNED/64b = 89.1%% as quoted for Figure 3(b)).\n");
 
     std::printf("\n=== Figure 1(c): extra energy per read ===\n\n");
-    Table energy({"Code", "64b word / 64kB array", "256b word / 4MB array"});
-    for (CodeKind kind : kFigure1Kinds) {
-        energy.addRow({codeKindName(kind),
-                       Table::pct(extraEnergyPerRead(kind, 64 * 1024, 64,
-                                                     1)),
-                       Table::pct(extraEnergyPerRead(
-                           kind, 4 * 1024 * 1024, 256, 8))});
-    }
-    energy.print();
+    figure1EnergyCampaign().print();
     std::printf("\nPaper shape: energy overhead grows superlinearly with "
                 "code strength (check-bit\ncolumns + wider XOR trees); "
                 "EDC8 and SECDED stay cheap.\n");

@@ -6,64 +6,31 @@
  *
  * Energies are normalized to the 1:1 (no interleaving) delay-optimal
  * design point of the same cache, matching the paper's presentation.
+ * Each panel is a declarative grid executed by the unified campaign
+ * driver (reliability/figure_campaigns.hh).
  */
 
 #include <cstdio>
 
-#include "common/table.hh"
-#include "ecc/cost_model.hh"
-#include "vlsi/sram_model.hh"
+#include "reliability/figure_campaigns.hh"
 
 using namespace tdc;
-
-namespace
-{
-
-void
-sweep(const char *title, size_t capacity_bytes, size_t word_bits,
-      size_t banks)
-{
-    const size_t check = checkBitsOf(CodeKind::kSecDed, word_bits);
-    const SramObjective objectives[] = {
-        SramObjective::kDelay,
-        SramObjective::kDelayArea,
-        SramObjective::kBalanced,
-        SramObjective::kPower,
-    };
-
-    const double base = cacheArrayMetrics(capacity_bytes, word_bits,
-                                          check, 1, banks,
-                                          SramObjective::kDelay)
-                            .readEnergy;
-
-    std::printf("%s\n\n", title);
-    Table t({"Degree", "Delay-opt", "Delay+Area-opt", "Balanced",
-             "Power-opt"});
-    for (size_t degree = 1; degree <= 16; degree *= 2) {
-        std::vector<std::string> row;
-        row.push_back(std::to_string(degree) + ":1");
-        for (SramObjective obj : objectives) {
-            const SramMetrics m = cacheArrayMetrics(
-                capacity_bytes, word_bits, check, degree, banks, obj);
-            row.push_back(Table::num(m.readEnergy / base, 2));
-        }
-        t.addRow(row);
-    }
-    t.print();
-    std::printf("\n");
-}
-
-} // namespace
 
 int
 main()
 {
     std::printf("=== Figure 2: normalized energy per read vs interleave "
                 "degree ===\n\n");
-    sweep("--- Figure 2(b): 64kB cache, (72,64) SECDED words ---",
-          64 * 1024, 64, 1);
-    sweep("--- Figure 2(c): 4MB cache, (266,256) SECDED words, 8 banks ---",
-          4 * 1024 * 1024, 256, 8);
+    figure2EnergyCampaign(
+        "--- Figure 2(b): 64kB cache, (72,64) SECDED words ---",
+        64 * 1024, 64, 1)
+        .print();
+    std::printf("\n");
+    figure2EnergyCampaign(
+        "--- Figure 2(c): 4MB cache, (266,256) SECDED words, 8 banks ---",
+        4 * 1024 * 1024, 256, 8)
+        .print();
+    std::printf("\n");
     std::printf("Paper shape: energy rises with interleave degree under "
                 "every objective; the rise\nis steeper for the 4MB cache "
                 "(wider words multiply the bitline swing cost).\n");

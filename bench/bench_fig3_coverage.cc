@@ -7,168 +7,34 @@
  *  (a) conventional 4-way interleaved (72,64) SECDED   (12.5% extra)
  *  (b) conventional 4-way interleaved (121,64) OECNED  (89.1% extra)
  *  (c) 2D coding: 4-way interleaved EDC8 + vertical EDC32 (25% extra)
+ *
+ * The injection grid (footprints x schemes) is one declarative
+ * campaign executed over the worker pool (each cell a Monte-Carlo
+ * campaign with its own counter-based seed), so the whole figure is
+ * bit-identical at any TDC_THREADS setting.
  */
 
 #include <cstdio>
-#include <vector>
 
-#include "array/fault.hh"
-#include "array/protected_array.hh"
-#include "common/rng.hh"
-#include "common/table.hh"
-#include "core/twod_array.hh"
-#include "ecc/code_factory.hh"
+#include "reliability/figure_campaigns.hh"
 
 using namespace tdc;
 
 namespace
 {
-
 constexpr int kTrialsPerPoint = 40;
-
-/** Outcome counters of one injection campaign. */
-struct Campaign
-{
-    int corrected = 0;
-    int detectedOnly = 0;
-    int silent = 0;
-    int trials = 0;
-
-    std::string verdict() const
-    {
-        if (corrected == trials)
-            return "corrected";
-        if (corrected + detectedOnly == trials)
-            return corrected > 0 ? "partially corrected" : "detected only";
-        return "NOT covered";
-    }
-};
-
-/** Inject width x height clusters into a conventional array. */
-Campaign
-runConventional(CodeKind kind, size_t width, size_t height, Rng &rng)
-{
-    Campaign c;
-    for (int t = 0; t < kTrialsPerPoint; ++t) {
-        ProtectedArray arr(256, makeCode(kind, 64), 4);
-        std::vector<std::vector<BitVector>> golden(
-            arr.rows(), std::vector<BitVector>(arr.wordsPerRow()));
-        for (size_t r = 0; r < arr.rows(); ++r) {
-            for (size_t s = 0; s < arr.wordsPerRow(); ++s) {
-                BitVector d(64, rng.next());
-                arr.writeWord(r, s, d);
-                golden[r][s] = d;
-            }
-        }
-        FaultInjector inj(rng);
-        inj.injectCluster(arr.cells(), width, height, 1.0);
-
-        bool all_ok = true, any_detect = false, any_silent = false;
-        for (size_t r = 0; r < arr.rows(); ++r) {
-            for (size_t s = 0; s < arr.wordsPerRow(); ++s) {
-                AccessResult res = arr.readWord(r, s);
-                if (res.status == DecodeStatus::kDetectedUncorrectable) {
-                    any_detect = true;
-                    all_ok = false;
-                } else if (res.data != golden[r][s]) {
-                    any_silent = true;
-                    all_ok = false;
-                }
-            }
-        }
-        c.corrected += all_ok;
-        c.detectedOnly += !all_ok && any_detect && !any_silent;
-        c.silent += any_silent;
-        ++c.trials;
-    }
-    return c;
-}
-
-/** Inject width x height clusters into the 2D-coded array. */
-Campaign
-runTwoDim(size_t width, size_t height, Rng &rng,
-          CodeKind horizontal = CodeKind::kEdc8)
-{
-    Campaign c;
-    for (int t = 0; t < kTrialsPerPoint; ++t) {
-        TwoDimConfig cfg = TwoDimConfig::l1Default(); // 256 rows, V=32
-        cfg.horizontalKind = horizontal;
-        TwoDimArray arr(cfg);
-        std::vector<std::vector<BitVector>> golden(
-            arr.rows(), std::vector<BitVector>(arr.wordsPerRow()));
-        for (size_t r = 0; r < arr.rows(); ++r) {
-            for (size_t s = 0; s < arr.wordsPerRow(); ++s) {
-                BitVector d(64, rng.next());
-                arr.writeWord(r, s, d);
-                golden[r][s] = d;
-            }
-        }
-        FaultInjector inj(rng);
-        inj.injectCluster(arr.cells(), width, height, 1.0);
-
-        const bool recovered = arr.scrub();
-        bool all_ok = recovered, any_silent = false;
-        for (size_t r = 0; r < arr.rows() && all_ok; ++r) {
-            for (size_t s = 0; s < arr.wordsPerRow(); ++s) {
-                AccessResult res = arr.readWord(r, s);
-                if (!res.ok() || res.data != golden[r][s]) {
-                    all_ok = false;
-                    any_silent |= res.ok() && res.data != golden[r][s];
-                    break;
-                }
-            }
-        }
-        c.corrected += all_ok;
-        c.detectedOnly += !all_ok && !any_silent;
-        c.silent += any_silent;
-        ++c.trials;
-    }
-    return c;
-}
-
 } // namespace
 
 int
 main()
 {
-    Rng rng(2026);
-
     std::printf("=== Figure 3: coverage and overhead on a 256x256 data "
                 "array ===\n\n");
-
-    Table overhead({"Scheme", "Storage overhead", "Guaranteed coverage"});
-    overhead.addRow({"(a) SECDED+Intv4",
-                     Table::pct(makeCode(CodeKind::kSecDed, 64)
-                                    ->storageOverhead()),
-                     "4-bit row bursts"});
-    overhead.addRow({"(b) OECNED+Intv4",
-                     Table::pct(makeCode(CodeKind::kOecNed, 64)
-                                    ->storageOverhead()),
-                     "32-bit row bursts"});
-    TwoDimArray twod(TwoDimConfig::l1Default());
-    overhead.addRow({"(c) 2D EDC8+Intv4/EDC32",
-                     Table::pct(twod.storageOverhead()),
-                     "32x32-bit clusters"});
-    overhead.print();
+    figure3OverheadCampaign().print();
 
     std::printf("\n--- Injection campaigns (%d solid clusters per point)"
                 " ---\n\n", kTrialsPerPoint);
-    Table t({"Error footprint", "SECDED+Intv4", "OECNED+Intv4",
-             "2D (EDC8, EDC32)", "2D (SECDED, EDC32)"});
-    const std::pair<size_t, size_t> footprints[] = {
-        {1, 1},  {4, 1},  {8, 1},   {32, 1},
-        {4, 4},  {8, 8},  {16, 16}, {32, 32},
-        {1, 32}, {1, 256},
-    };
-    for (auto [w, h] : footprints) {
-        const Campaign a = runConventional(CodeKind::kSecDed, w, h, rng);
-        const Campaign b = runConventional(CodeKind::kOecNed, w, h, rng);
-        const Campaign c = runTwoDim(w, h, rng);
-        const Campaign d = runTwoDim(w, h, rng, CodeKind::kSecDed);
-        t.addRow({std::to_string(w) + "x" + std::to_string(h),
-                  a.verdict(), b.verdict(), c.verdict(), d.verdict()});
-    }
-    t.print();
+    figure3InjectionCampaign(kTrialsPerPoint).print();
 
     std::printf(
         "\nPaper shape: (a) corrects only <=4-bit row bursts; (b) buys "

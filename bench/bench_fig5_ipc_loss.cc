@@ -6,72 +6,32 @@
  * L2 only, and L1(+stealing)+L2.
  *
  * Baseline and protected runs are matched-pair (same seeds), the
- * SimFlex-style methodology of Section 5.
+ * SimFlex-style methodology of Section 5. Each machine's grid is one
+ * IPC-loss campaign: a single cmp_batch over the worker pool, reduced
+ * to the loss table (plus the per-column average) in grid order.
  */
 
 #include <cstdio>
-#include <vector>
 
-#include "common/table.hh"
-#include "cpu/cmp_batch.hh"
+#include "cpu/ipc_campaign.hh"
 
 using namespace tdc;
-
-namespace
-{
-
-constexpr uint64_t kCycles = 150000;
-constexpr uint64_t kSeed = 42;
-
-void
-machineTable(const CmpConfig &m, const char *title)
-{
-    std::printf("--- Figure 5(%s) ---\n\n", title);
-
-    // The whole grid — 6 workloads x (baseline + 4 protections) — is
-    // one batch over the worker pool; matched pairs share kSeed.
-    const ProtectionConfig protections[] = {
-        ProtectionConfig::none(), ProtectionConfig::l1Only(false),
-        ProtectionConfig::l1Only(true), ProtectionConfig::l2Only(),
-        ProtectionConfig::full(true),
-    };
-    const std::vector<WorkloadProfile> &workloads = standardWorkloads();
-    std::vector<CmpRunSpec> specs;
-    for (const WorkloadProfile &w : workloads) {
-        for (const ProtectionConfig &prot : protections)
-            specs.push_back({m, w, prot, kSeed});
-    }
-    const std::vector<CmpSimResult> runs = runCmpBatch(specs, kCycles);
-
-    Table t({"Workload", "L1 D-cache", "L1 + port stealing", "L2 cache",
-             "L1(steal) + L2"});
-    double sums[4] = {};
-    for (size_t wi = 0; wi < workloads.size(); ++wi) {
-        const double base = runs[wi * 5].ipc();
-        double losses[4];
-        std::vector<std::string> row{workloads[wi].name};
-        for (size_t pi = 0; pi < 4; ++pi) {
-            losses[pi] = (base - runs[wi * 5 + 1 + pi].ipc()) / base;
-            sums[pi] += losses[pi];
-            row.push_back(Table::pct(losses[pi]));
-        }
-        t.addRow(row);
-    }
-    t.addRow({"Average", Table::pct(sums[0] / 6), Table::pct(sums[1] / 6),
-              Table::pct(sums[2] / 6), Table::pct(sums[3] / 6)});
-    t.print();
-    std::printf("\n");
-}
-
-} // namespace
 
 int
 main()
 {
     std::printf("=== Figure 5: performance (IPC) loss in 2D-protected "
                 "caches ===\n\n");
-    machineTable(CmpConfig::fat(), "a: fat baseline");
-    machineTable(CmpConfig::lean(), "b: lean baseline");
+    runIpcLossCampaign(IpcLossCampaignSpec::figure5(
+                           CmpConfig::fat(), "--- Figure 5(a: fat "
+                                             "baseline) ---"))
+        .print();
+    std::printf("\n");
+    runIpcLossCampaign(IpcLossCampaignSpec::figure5(
+                           CmpConfig::lean(), "--- Figure 5(b: lean "
+                                              "baseline) ---"))
+        .print();
+    std::printf("\n");
     std::printf(
         "Paper shape: full protection costs low single digits (paper: "
         "2.9%% fat / 1.8%% lean\naverage); port stealing removes most "

@@ -9,38 +9,17 @@
  *     duplication.
  * (b) 4MB L2: 2D(EDC16+Intv2, EDC32), DECTED+Intv16, QECPED+Intv8,
  *     OECNED+Intv4.
+ *
+ * Each panel is a declarative grid executed by the unified campaign
+ * driver (reliability/figure_campaigns.hh); the golden-pin tests run
+ * the very same builders.
  */
 
 #include <cstdio>
-#include <vector>
 
-#include "common/table.hh"
-#include "vlsi/scheme_overhead.hh"
+#include "reliability/figure_campaigns.hh"
 
 using namespace tdc;
-
-namespace
-{
-
-void
-compare(const char *title, const CacheGeometry &geom,
-        const std::vector<SchemeSpec> &schemes)
-{
-    std::printf("--- %s (normalized to SECDED+Intv2 = 100%%) ---\n\n",
-                title);
-    const SchemeSpec reference =
-        SchemeSpec::conventional(CodeKind::kSecDed, 2);
-    Table t({"Scheme", "Code area", "Coding latency", "Dynamic power"});
-    for (const SchemeSpec &s : schemes) {
-        const NormalizedOverhead n = normalizeScheme(s, reference, geom);
-        t.addRow({s.label(), Table::pct(n.area, 0),
-                  Table::pct(n.latency, 0), Table::pct(n.power, 0)});
-    }
-    t.print();
-    std::printf("\n");
-}
-
-} // namespace
 
 int
 main()
@@ -48,22 +27,30 @@ main()
     std::printf("=== Figure 7: overhead of coding schemes for 32x32-bit "
                 "coverage ===\n\n");
 
-    compare("Figure 7(a): 64kB L1 data cache", CacheGeometry::l1(),
-            {
-                SchemeSpec::twoDim(CodeKind::kEdc8, 4),
-                SchemeSpec::conventional(CodeKind::kDecTed, 16),
-                SchemeSpec::conventional(CodeKind::kQecPed, 8),
-                SchemeSpec::conventional(CodeKind::kOecNed, 4),
-                SchemeSpec::writeThrough(CodeKind::kEdc8, 4),
-            });
+    figure7Campaign("--- Figure 7(a): 64kB L1 data cache (normalized to "
+                    "SECDED+Intv2 = 100%) ---",
+                    CacheGeometry::l1(),
+                    {
+                        SchemeSpec::twoDim(CodeKind::kEdc8, 4),
+                        SchemeSpec::conventional(CodeKind::kDecTed, 16),
+                        SchemeSpec::conventional(CodeKind::kQecPed, 8),
+                        SchemeSpec::conventional(CodeKind::kOecNed, 4),
+                        SchemeSpec::writeThrough(CodeKind::kEdc8, 4),
+                    })
+        .print();
+    std::printf("\n");
 
-    compare("Figure 7(b): 4MB L2 cache", CacheGeometry::l2(),
-            {
-                SchemeSpec::twoDim(CodeKind::kEdc16, 2),
-                SchemeSpec::conventional(CodeKind::kDecTed, 16),
-                SchemeSpec::conventional(CodeKind::kQecPed, 8),
-                SchemeSpec::conventional(CodeKind::kOecNed, 4),
-            });
+    figure7Campaign("--- Figure 7(b): 4MB L2 cache (normalized to "
+                    "SECDED+Intv2 = 100%) ---",
+                    CacheGeometry::l2(),
+                    {
+                        SchemeSpec::twoDim(CodeKind::kEdc16, 2),
+                        SchemeSpec::conventional(CodeKind::kDecTed, 16),
+                        SchemeSpec::conventional(CodeKind::kQecPed, 8),
+                        SchemeSpec::conventional(CodeKind::kOecNed, 4),
+                    })
+        .print();
+    std::printf("\n");
 
     std::printf(
         "Paper shape: 2D coding is the cheapest on every axis; "

@@ -7,13 +7,15 @@
  * (b) Probability that all soft errors over a multi-year horizon stay
  *     correctable, for a system of ten 16MB caches at 1000 FIT/Mb,
  *     sweeping the hard error rate, with and without 2D coding.
+ *
+ * All three panels (including the Monte-Carlo cross-check, which now
+ * runs the threaded monteCarloParallel with counter-based seeding) are
+ * declarative grids executed by the unified campaign driver.
  */
 
 #include <cstdio>
 
-#include "common/table.hh"
-#include "reliability/soft_error_model.hh"
-#include "reliability/yield_model.hh"
+#include "reliability/figure_campaigns.hh"
 
 using namespace tdc;
 
@@ -22,55 +24,18 @@ main()
 {
     std::printf("=== Figure 8(a): 16MB L2 cache yield vs failing cells "
                 "===\n\n");
-    YieldModel ym(YieldParams::l2Cache16MB());
-    Table a({"Failing cells", "Spare_128", "ECC only", "ECC + Spare_16",
-             "ECC + Spare_32"});
-    for (double f : {0.0, 400.0, 800.0, 1600.0, 2400.0, 3200.0, 4000.0}) {
-        a.addRow({Table::num(f, 0),
-                  Table::pct(ym.yieldSpareOnly(f, 128)),
-                  Table::pct(ym.yieldEccOnly(f)),
-                  Table::pct(ym.yieldEccPlusSpares(f, 16)),
-                  Table::pct(ym.yieldEccPlusSpares(f, 32))});
-    }
-    a.print();
+    figure8YieldCampaign().print();
     std::printf("\nPaper shape: spare-only collapses first; ECC-only "
                 "degrades with multi-bit words;\nECC + a few spares "
                 "stays near 100%% across the sweep.\n");
 
     std::printf("\n=== Figure 8(a) cross-check: Monte Carlo vs analytic "
                 "(small array) ===\n\n");
-    {
-        YieldParams small;
-        small.words = 65536;
-        small.wordBits = 72;
-        YieldModel sm(small);
-        Rng rng(99);
-        Table mc({"Failing cells", "ECC-only (analytic)",
-                  "ECC-only (Monte Carlo)"});
-        for (size_t f : {200u, 400u, 800u}) {
-            const auto r = sm.monteCarlo(f, 16, 300, rng);
-            mc.addRow({std::to_string(f),
-                       Table::pct(sm.yieldEccOnly(double(f))),
-                       Table::pct(r.eccOnly)});
-        }
-        mc.print();
-    }
+    figure8YieldMonteCarloCampaign().print();
 
     std::printf("\n=== Figure 8(b): P(all soft errors correctable), "
                 "10 x 16MB caches, 1000 FIT/Mb ===\n\n");
-    Table b({"Years", "With 2D coding", "No 2D, HER=0.0005%",
-             "No 2D, HER=0.001%", "No 2D, HER=0.005%"});
-    SoftErrorModel her1(ReliabilityParams::figure8b(0.000005));
-    SoftErrorModel her2(ReliabilityParams::figure8b(0.00001));
-    SoftErrorModel her3(ReliabilityParams::figure8b(0.00005));
-    for (double years = 0.0; years <= 5.0; years += 1.0) {
-        b.addRow({Table::num(years, 0),
-                  Table::pct(her1.successProbabilityWith2D(years)),
-                  Table::pct(her1.successProbability(years)),
-                  Table::pct(her2.successProbability(years)),
-                  Table::pct(her3.successProbability(years))});
-    }
-    b.print();
+    figure8SoftErrorCampaign().print();
     std::printf(
         "\nPaper shape: without 2D coding the success probability decays "
         "with operating\ntime, faster at higher hard-error rates; with 2D "

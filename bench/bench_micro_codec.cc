@@ -13,6 +13,7 @@
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "core/twod_array.hh"
+#include "core/twod_cache_store.hh"
 #include "ecc/code_factory.hh"
 #include "reliability/recovery_sweep.hh"
 
@@ -130,6 +131,37 @@ BM_RecoverySweep(benchmark::State &state)
                    " thread(s)");
 }
 BENCHMARK(BM_RecoverySweep)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Whole-cache scrub with a multi-bit event in every bank — the
+ * bank-parallel recovery path of TwoDimCacheStore at a given
+ * worker-pool thread count. Arg: threads.
+ */
+void
+BM_CacheStoreScrubAll(benchmark::State &state)
+{
+    setParallelThreads(unsigned(state.range(0)));
+    TwoDimCacheStore store(TwoDimConfig::l1Default(), 8);
+    Rng rng(8);
+    for (size_t w = 0; w < store.totalWords(); ++w)
+        store.writeWord(w, BitVector(64, rng.next()));
+    for (auto _ : state) {
+        state.PauseTiming();
+        FaultInjector inj(rng);
+        for (size_t b = 0; b < store.banks(); ++b)
+            inj.injectCluster(store.bank(b).cells(), 32, 32, 1.0);
+        state.ResumeTiming();
+        // Transient clusters are repaired back to the stored data, so
+        // the store is clean again before the next iteration.
+        benchmark::DoNotOptimize(store.scrubAll());
+    }
+    setParallelThreads(0);
+    state.SetLabel("8 banks x 32x32 cluster, " +
+                   std::to_string(state.range(0)) + " thread(s)");
+}
+BENCHMARK(BM_CacheStoreScrubAll)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 

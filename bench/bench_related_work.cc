@@ -6,122 +6,27 @@
  * implementations. Shows why "two parity dimensions" alone is not the
  * contribution — the interleaving of both dimensions and the
  * decoupling of detection from correction are.
+ *
+ * The footprint x scheme grid is one declarative campaign over the
+ * worker pool (counter-based per-cell seeds), shared with the Figure 3
+ * injection machinery.
  */
 
 #include <cstdio>
 
-#include "array/fault.hh"
-#include "array/product_code_array.hh"
-#include "common/rng.hh"
-#include "common/table.hh"
-#include "core/twod_array.hh"
+#include "reliability/figure_campaigns.hh"
 
 using namespace tdc;
-
-namespace
-{
-
-constexpr int kTrials = 50;
-
-/** Outcome fractions of an injection campaign on the product code. */
-std::string
-productVerdict(size_t width, size_t height, Rng &rng)
-{
-    int corrected = 0, detected = 0, silent = 0;
-    for (int t = 0; t < kTrials; ++t) {
-        ProductCodeArray arr(256, 256);
-        std::vector<BitVector> golden;
-        for (size_t r = 0; r < 256; ++r) {
-            BitVector row(256);
-            for (size_t c = 0; c < 256; ++c)
-                row.set(c, rng.nextBool());
-            arr.writeRow(r, row);
-            golden.push_back(row);
-        }
-        FaultInjector inj(rng);
-        inj.injectCluster(arr.cells(), width, height, 1.0);
-        const ProductCodeReport rep = arr.checkAndCorrect();
-        bool matches = true;
-        for (size_t r = 0; r < 256 && matches; ++r)
-            matches = arr.readRow(r) == golden[r];
-        if (rep.clean && matches)
-            ++corrected;
-        else if (rep.clean && !matches)
-            ++silent;
-        else
-            ++detected;
-    }
-    if (silent == kTrials)
-        return "SILENT corruption";
-    if (corrected == kTrials)
-        return "corrected";
-    if (corrected == 0 && silent == 0)
-        return "detected only";
-    return std::to_string(corrected) + "/" + std::to_string(kTrials) +
-           " corrected" + (silent ? " (+silent!)" : "");
-}
-
-std::string
-twoDimVerdict(size_t width, size_t height, Rng &rng)
-{
-    int corrected = 0, detected = 0, silent = 0;
-    for (int t = 0; t < kTrials; ++t) {
-        TwoDimArray arr(TwoDimConfig::l1Default());
-        std::vector<std::vector<BitVector>> golden(
-            arr.rows(), std::vector<BitVector>(arr.wordsPerRow()));
-        Rng fill(rng.next());
-        for (size_t r = 0; r < arr.rows(); ++r)
-            for (size_t s = 0; s < arr.wordsPerRow(); ++s) {
-                golden[r][s] = BitVector(64, fill.next());
-                arr.writeWord(r, s, golden[r][s]);
-            }
-        FaultInjector inj(rng);
-        inj.injectCluster(arr.cells(), width, height, 1.0);
-        const bool ok = arr.scrub();
-        bool matches = true;
-        for (size_t r = 0; r < arr.rows() && matches; ++r)
-            for (size_t s = 0; s < arr.wordsPerRow(); ++s)
-                if (arr.readWord(r, s).data != golden[r][s]) {
-                    matches = false;
-                    break;
-                }
-        if (ok && matches)
-            ++corrected;
-        else if (!ok)
-            ++detected;
-        else
-            ++silent;
-    }
-    if (corrected == kTrials)
-        return "corrected";
-    if (silent > 0)
-        return "silent corruption";
-    if (corrected == 0)
-        return "detected only";
-    return std::to_string(corrected) + "/" + std::to_string(kTrials) +
-           " corrected";
-}
-
-} // namespace
 
 int
 main()
 {
-    Rng rng(60606);
     std::printf("=== Related work: HV product code vs 2D coding "
                 "(256x256 array) ===\n\n");
     std::printf("Storage overhead: product code %.1f%%, 2D coding "
                 "25.0%%\n\n", 100.0 * (512.0 / 65536.0));
 
-    Table t({"Error footprint", "HV product code", "2D (EDC8+Intv4, EDC32)"});
-    const std::pair<size_t, size_t> footprints[] = {
-        {1, 1}, {3, 1}, {1, 3}, {2, 2}, {8, 8}, {32, 32},
-    };
-    for (auto [w, h] : footprints) {
-        t.addRow({std::to_string(w) + "x" + std::to_string(h),
-                  productVerdict(w, h, rng), twoDimVerdict(w, h, rng)});
-    }
-    t.print();
+    relatedWorkCampaign().print();
 
     std::printf(
         "\nThe product code is cheaper but collapses on any 2x2 block "

@@ -24,6 +24,79 @@ FaultEvent::describe() const
            ")";
 }
 
+FaultModel
+FaultModel::singleBit()
+{
+    FaultModel m;
+    m.shape = FaultShape::kSingleBit;
+    return m;
+}
+
+FaultModel
+FaultModel::rowBurst(size_t width)
+{
+    FaultModel m;
+    m.shape = FaultShape::kRowBurst;
+    m.width = width;
+    return m;
+}
+
+FaultModel
+FaultModel::columnBurst(size_t height)
+{
+    FaultModel m;
+    m.shape = FaultShape::kColumnBurst;
+    m.height = height;
+    return m;
+}
+
+FaultModel
+FaultModel::cluster(size_t width, size_t height, double density)
+{
+    FaultModel m;
+    m.shape = FaultShape::kCluster;
+    m.width = width;
+    m.height = height;
+    m.density = density;
+    return m;
+}
+
+FaultModel
+FaultModel::fullRow()
+{
+    FaultModel m;
+    m.shape = FaultShape::kFullRow;
+    return m;
+}
+
+FaultModel
+FaultModel::fullColumn()
+{
+    FaultModel m;
+    m.shape = FaultShape::kFullColumn;
+    return m;
+}
+
+std::string
+FaultModel::describe() const
+{
+    switch (shape) {
+      case FaultShape::kSingleBit: return "1x1";
+      case FaultShape::kRowBurst:
+        return std::to_string(width) + "x1 burst";
+      case FaultShape::kColumnBurst:
+        return "1x" + std::to_string(height) + " burst";
+      case FaultShape::kCluster:
+        return std::to_string(width) + "x" + std::to_string(height) +
+               (density < 1.0
+                    ? " @" + std::to_string(int(density * 100)) + "%"
+                    : "");
+      case FaultShape::kFullRow: return "full row";
+      case FaultShape::kFullColumn: return "full column";
+    }
+    return "?";
+}
+
 void
 FaultInjector::applyCell(MemoryArray &arr, size_t r, size_t c,
                          FaultPersistence p, FaultEvent &event)
@@ -170,6 +243,40 @@ FaultInjector::injectFullColumn(MemoryArray &arr, size_t col,
     event.rowHi = arr.rows() - 1;
     event.colLo = event.colHi = col;
     return event;
+}
+
+FaultEvent
+FaultInjector::inject(MemoryArray &arr, const FaultModel &m)
+{
+    switch (m.shape) {
+      case FaultShape::kSingleBit:
+        return injectSingleBit(arr, m.persistence);
+      case FaultShape::kRowBurst: {
+        const size_t row = m.rowLo >= 0 ? size_t(m.rowLo)
+                                        : rng.nextBelow(arr.rows());
+        return injectRowBurst(arr, row, m.width, m.colLo, m.persistence);
+      }
+      case FaultShape::kColumnBurst: {
+        const size_t col = m.colLo >= 0 ? size_t(m.colLo)
+                                        : rng.nextBelow(arr.cols());
+        return injectColumnBurst(arr, col, m.height, m.rowLo,
+                                 m.persistence);
+      }
+      case FaultShape::kCluster:
+        return injectCluster(arr, m.width, m.height, m.density, m.rowLo,
+                             m.colLo, m.persistence);
+      case FaultShape::kFullRow: {
+        const size_t row = m.rowLo >= 0 ? size_t(m.rowLo)
+                                        : rng.nextBelow(arr.rows());
+        return injectFullRow(arr, row, m.persistence);
+      }
+      case FaultShape::kFullColumn: {
+        const size_t col = m.colLo >= 0 ? size_t(m.colLo)
+                                        : rng.nextBelow(arr.cols());
+        return injectFullColumn(arr, col, m.persistence);
+      }
+    }
+    return {};
 }
 
 FaultEvent

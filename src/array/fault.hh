@@ -64,6 +64,45 @@ struct FaultEvent
 };
 
 /**
+ * Declarative fault-event description: the shape x footprint x density
+ * axis of an injection campaign, decoupled from any concrete array so
+ * campaign grids and batch recovery APIs can carry it by value. Feed
+ * it to FaultInjector::inject to realize one event.
+ */
+struct FaultModel
+{
+    FaultShape shape = FaultShape::kCluster;
+    FaultPersistence persistence = FaultPersistence::kTransient;
+
+    /** Footprint in physical columns (row direction). Ignored by
+     *  single-bit / column-burst / full-row / full-column shapes. */
+    size_t width = 1;
+
+    /** Footprint in rows (column direction). Ignored by single-bit /
+     *  row-burst / full-row / full-column shapes. */
+    size_t height = 1;
+
+    /** Per-cell flip probability inside a cluster footprint. */
+    double density = 1.0;
+
+    /** Anchor (top-left) of the footprint; -1 = uniform random draw
+     *  at injection time. */
+    long rowLo = -1;
+    long colLo = -1;
+
+    static FaultModel singleBit();
+    static FaultModel rowBurst(size_t width);
+    static FaultModel columnBurst(size_t height);
+    static FaultModel cluster(size_t width, size_t height,
+                              double density = 1.0);
+    static FaultModel fullRow();
+    static FaultModel fullColumn();
+
+    /** Short label for campaign tables, e.g. "32x32" for clusters. */
+    std::string describe() const;
+};
+
+/**
  * Injects fault events into a MemoryArray. Transient events flip the
  * stored state; stuck-at events install overlay faults with the
  * complement of the current stored value (so they are observable).
@@ -112,6 +151,12 @@ class FaultInjector
     FaultEvent injectFullColumn(MemoryArray &arr, size_t col,
                                 FaultPersistence p =
                                     FaultPersistence::kTransient);
+
+    /**
+     * Realize one @p model event: dispatch to the shape-specific
+     * injector, drawing any unanchored coordinates from the RNG.
+     */
+    FaultEvent inject(MemoryArray &arr, const FaultModel &model);
 
     /**
      * Scatter @p count independent single-cell stuck-at faults

@@ -64,6 +64,23 @@ struct TwoDimStats
      */
     uint64_t rowBorrows = 0;
     uint64_t rowCopies = 0;
+
+    /** Merge another shard (per-bank stats are summed field-wise, in
+     *  bank order, so aggregates are independent of who ran where). */
+    TwoDimStats &operator+=(const TwoDimStats &o)
+    {
+        reads += o.reads;
+        writes += o.writes;
+        readBeforeWrites += o.readBeforeWrites;
+        inlineCorrections += o.inlineCorrections;
+        recoveries += o.recoveries;
+        recoveryFailures += o.recoveryFailures;
+        rowBorrows += o.rowBorrows;
+        rowCopies += o.rowCopies;
+        return *this;
+    }
+
+    bool operator==(const TwoDimStats &) const = default;
 };
 
 /**

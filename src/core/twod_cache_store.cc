@@ -1,6 +1,11 @@
 #include "core/twod_cache_store.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "common/parallel.hh"
 
 namespace tdc
 {
@@ -8,7 +13,9 @@ namespace tdc
 TwoDimCacheStore::TwoDimCacheStore(const TwoDimConfig &bank_config,
                                    size_t banks)
 {
-    assert(banks > 0);
+    if (banks == 0)
+        throw std::invalid_argument(
+            "TwoDimCacheStore requires at least one bank");
     bankArray.reserve(banks);
     for (size_t b = 0; b < banks; ++b)
         bankArray.push_back(std::make_unique<TwoDimArray>(bank_config));
@@ -24,6 +31,12 @@ size_t
 TwoDimCacheStore::dataBits() const
 {
     return bankArray[0]->dataBits();
+}
+
+double
+TwoDimCacheStore::storageOverhead() const
+{
+    return bankArray[0]->storageOverhead();
 }
 
 std::pair<size_t, size_t>
@@ -52,25 +65,86 @@ TwoDimCacheStore::readWord(size_t word)
 bool
 TwoDimCacheStore::scrubAll()
 {
-    bool ok = true;
-    for (auto &bank : bankArray)
-        ok &= bank->scrub();
-    return ok;
+    // Banks are fully independent (own cells, parity, stats, scratch),
+    // so the scrub shards directly over the pool; each iteration
+    // writes only its own outcome slot.
+    std::vector<char> clean(banks(), 0);
+    parallelFor(banks(), [&](size_t b) {
+        clean[b] = bankArray[b]->scrub() ? 1 : 0;
+    });
+    return std::all_of(clean.begin(), clean.end(),
+                       [](char c) { return c != 0; });
+}
+
+CacheRecoveryReport
+TwoDimCacheStore::recoverAll()
+{
+    std::vector<size_t> all(banks());
+    for (size_t b = 0; b < banks(); ++b)
+        all[b] = b;
+    return recoverBanks(std::move(all));
+}
+
+CacheRecoveryReport
+TwoDimCacheStore::recoverBanks(std::vector<size_t> which)
+{
+    std::sort(which.begin(), which.end());
+    which.erase(std::unique(which.begin(), which.end()), which.end());
+    if (!which.empty() && which.back() >= banks())
+        throw std::out_of_range("TwoDimCacheStore::recoverBanks: bank " +
+                                std::to_string(which.back()) +
+                                " >= " + std::to_string(banks()));
+
+    std::vector<RecoveryReport> reports(which.size());
+    parallelFor(which.size(), [&](size_t i) {
+        reports[i] = bankArray[which[i]]->recover();
+    });
+
+    // Serial reduction in ascending bank order: the merged report is
+    // independent of worker scheduling.
+    CacheRecoveryReport merged;
+    for (size_t i = 0; i < which.size(); ++i) {
+        RecoveryReport &rep = reports[i];
+        merged.success = merged.success && rep.success;
+        merged.rowReads += rep.rowReads;
+        merged.rowsReconstructed += rep.rowsReconstructed.size();
+        merged.columnsRepaired += rep.columnsRepaired.size();
+        merged.banks.push_back({which[i], std::move(rep)});
+    }
+    return merged;
+}
+
+CacheRecoveryReport
+TwoDimCacheStore::injectAndRecover(const std::vector<BankFaultSpec> &events,
+                                   uint64_t seed)
+{
+    // Injection runs serially in spec order: events aimed at the same
+    // bank must compose deterministically, and each event's randomness
+    // comes from its own counter-based stream.
+    // Validate every target up front so a bad spec leaves the store
+    // untouched instead of half-injected.
+    for (const BankFaultSpec &e : events) {
+        if (e.bank >= banks())
+            throw std::out_of_range(
+                "TwoDimCacheStore::injectAndRecover: bank " +
+                std::to_string(e.bank) + " >= " + std::to_string(banks()));
+    }
+    std::vector<size_t> hit;
+    for (size_t i = 0; i < events.size(); ++i) {
+        Rng rng(shardSeed(seed, i));
+        FaultInjector inj(rng);
+        inj.inject(bankArray[events[i].bank]->cells(), events[i].fault);
+        hit.push_back(events[i].bank);
+    }
+    return recoverBanks(std::move(hit));
 }
 
 TwoDimStats
 TwoDimCacheStore::aggregateStats() const
 {
     TwoDimStats total;
-    for (const auto &bank : bankArray) {
-        const TwoDimStats &s = bank->stats();
-        total.reads += s.reads;
-        total.writes += s.writes;
-        total.readBeforeWrites += s.readBeforeWrites;
-        total.inlineCorrections += s.inlineCorrections;
-        total.recoveries += s.recoveries;
-        total.recoveryFailures += s.recoveryFailures;
-    }
+    for (const auto &bank : bankArray)
+        total += bank->stats();
     return total;
 }
 

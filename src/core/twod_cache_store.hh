@@ -11,17 +11,56 @@
 #include <memory>
 #include <vector>
 
+#include "array/fault.hh"
 #include "core/twod_array.hh"
 
 namespace tdc
 {
+
+/** One fault event aimed at a specific bank of a cache store. */
+struct BankFaultSpec
+{
+    size_t bank = 0;
+    FaultModel fault;
+};
+
+/**
+ * Merged outcome of a whole-store recovery batch. Per-bank reports are
+ * kept in ascending bank order and the summary counters are reduced in
+ * that same order, so the report is a pure function of the store state
+ * regardless of how many workers ran the banks.
+ */
+struct CacheRecoveryReport
+{
+    /** Every swept bank was restored to a fully clean state. */
+    bool success = true;
+
+    /** Banks the batch swept, ascending; absent banks were not touched. */
+    struct BankRecovery
+    {
+        size_t bank = 0;
+        RecoveryReport report;
+    };
+    std::vector<BankRecovery> banks;
+
+    /** Summed recovery-latency proxy (row reads across swept banks). */
+    uint64_t rowReads = 0;
+    /** Rows reconstructed via the vertical path, all banks. */
+    uint64_t rowsReconstructed = 0;
+    /** Columns repaired via the column-location path, all banks. */
+    uint64_t columnsRepaired = 0;
+};
 
 /**
  * An array of independently protected TwoDimArray banks addressed by
  * a flat word index. Each bank has its own vertical parity rows, so a
  * multi-bit event in one bank is recovered locally while the others
  * keep serving accesses — and simultaneous events in different banks
- * are independently correctable.
+ * are independently correctable. That per-bank independence is what
+ * the batch sweeps (scrubAll / recoverAll / injectAndRecover) exploit:
+ * banks are sharded over the parallelFor worker pool, and results are
+ * reduced in bank order, so every batch outcome is bit-identical at
+ * any TDC_THREADS setting.
  */
 class TwoDimCacheStore
 {
@@ -29,6 +68,7 @@ class TwoDimCacheStore
     /**
      * @param bank_config per-bank 2D configuration
      * @param banks number of banks
+     * @throws std::invalid_argument when @p banks is zero
      */
     TwoDimCacheStore(const TwoDimConfig &bank_config, size_t banks);
 
@@ -50,13 +90,36 @@ class TwoDimCacheStore
     /** Read flat word index @p word (recovery runs transparently). */
     AccessResult readWord(size_t word);
 
-    /** Scrub every bank; true iff all end clean. */
+    /** Scrub every bank, bank-parallel; true iff all end clean. */
     bool scrubAll();
 
-    /** Combined storage overhead (identical across banks). */
-    double storageOverhead() const { return bankArray[0]->storageOverhead(); }
+    /** Run the Figure 4(b) recovery sweep on every bank, bank-parallel. */
+    CacheRecoveryReport recoverAll();
 
-    /** Aggregate statistics over all banks. */
+    /** Recovery sweep over the given banks only (ascending, deduped).
+     *  @throws std::out_of_range on a bank index >= banks() */
+    CacheRecoveryReport recoverBanks(std::vector<size_t> which);
+
+    /**
+     * Batch fault-injection campaign step: realize every event (event i
+     * draws its randomness from shardSeed(seed, i); same-bank events
+     * apply in spec order), then run the recovery sweep on exactly the
+     * banks that were hit, bank-parallel. The outcome is a pure
+     * function of (store contents, events, seed).
+     * @throws std::out_of_range on an event bank index >= banks()
+     *         (checked up front; the store is left untouched)
+     */
+    CacheRecoveryReport injectAndRecover(
+        const std::vector<BankFaultSpec> &events, uint64_t seed);
+
+    /** Combined storage overhead (identical across banks). */
+    double storageOverhead() const;
+
+    /**
+     * Aggregate statistics over all banks. Stats are sharded per bank
+     * (each bank mutates only its own counters, even during parallel
+     * sweeps) and merged here in ascending bank order.
+     */
     TwoDimStats aggregateStats() const;
 
   private:

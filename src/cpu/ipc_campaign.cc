@@ -1,0 +1,81 @@
+#include "cpu/ipc_campaign.hh"
+
+#include <cassert>
+
+namespace tdc
+{
+
+IpcLossCampaignSpec
+IpcLossCampaignSpec::figure5(const CmpConfig &machine,
+                             const std::string &title)
+{
+    IpcLossCampaignSpec spec;
+    spec.machine = machine;
+    spec.title = title;
+    spec.protections = {
+        ProtectionConfig::l1Only(false),
+        ProtectionConfig::l1Only(true),
+        ProtectionConfig::l2Only(),
+        ProtectionConfig::full(true),
+    };
+    spec.columnHeaders = {"L1 D-cache", "L1 + port stealing", "L2 cache",
+                          "L1(steal) + L2"};
+    return spec;
+}
+
+CampaignResult
+runIpcLossCampaign(const IpcLossCampaignSpec &spec)
+{
+    assert(spec.protections.size() == spec.columnHeaders.size());
+    const std::vector<WorkloadProfile> &workloads =
+        spec.workloads.empty() ? standardWorkloads() : spec.workloads;
+    const size_t np = spec.protections.size();
+    const size_t stride = np + 1; // baseline + protected runs
+
+    // One flat batch over the pool: per workload, the matched-pair
+    // baseline followed by every protected configuration.
+    std::vector<CmpRunSpec> runs;
+    runs.reserve(workloads.size() * stride);
+    for (const WorkloadProfile &w : workloads) {
+        runs.push_back({spec.machine, w, ProtectionConfig::none(),
+                        spec.seed});
+        for (const ProtectionConfig &prot : spec.protections)
+            runs.push_back({spec.machine, w, prot, spec.seed});
+    }
+    const std::vector<CmpSimResult> results = runCmpBatch(runs,
+                                                          spec.cycles);
+
+    // Relative IPC loss per cell, computed serially in grid order.
+    std::vector<std::vector<double>> loss(workloads.size(),
+                                          std::vector<double>(np));
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const double base = results[wi * stride].ipc();
+        for (size_t pi = 0; pi < np; ++pi)
+            loss[wi][pi] =
+                (base - results[wi * stride + 1 + pi].ipc()) / base;
+    }
+
+    CampaignGrid grid;
+    grid.title = spec.title;
+    grid.rowHeader = "Workload";
+    for (const WorkloadProfile &w : workloads)
+        grid.rowLabels.push_back(w.name);
+    grid.colHeaders = spec.columnHeaders;
+    grid.parallelCells = false; // the batch above did the heavy work
+    grid.cell = [&](size_t row, size_t col) {
+        return Table::pct(loss[row][col]);
+    };
+    grid.summary = [&](const std::vector<std::vector<std::string>> &) {
+        std::vector<std::string> avg{"Average"};
+        for (size_t pi = 0; pi < np; ++pi) {
+            double sum = 0.0;
+            for (size_t wi = 0; wi < workloads.size(); ++wi)
+                sum += loss[wi][pi];
+            avg.push_back(Table::pct(sum / double(workloads.size())));
+        }
+        return std::vector<std::vector<std::string>>{std::move(avg)};
+    };
+    return runCampaignGrid(grid);
+}
+
+} // namespace tdc

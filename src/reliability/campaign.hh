@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unified figure-campaign driver. Every figure benchmark in the study
+ * is a grid — scheme x interleave degree x fault model x workload —
+ * whose cells are either analytic model evaluations or Monte-Carlo
+ * injection campaigns. This driver expresses such a figure
+ * declaratively (axes + a pure cell evaluator) and executes it over
+ * the parallelFor worker pool with counter-based seeding, so every
+ * campaign table is bit-identical at any TDC_THREADS setting.
+ */
+
+#ifndef TDC_RELIABILITY_CAMPAIGN_HH
+#define TDC_RELIABILITY_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "array/fault.hh"
+#include "common/table.hh"
+#include "core/twod_config.hh"
+
+namespace tdc
+{
+
+/**
+ * A declarative figure grid: row labels x column headers, with a pure
+ * cell evaluator. The evaluator must depend only on (row, col) — any
+ * randomness must come from a counter-based stream derived from the
+ * cell index — so the executed table is independent of thread count
+ * and execution order.
+ */
+struct CampaignGrid
+{
+    /** Panel heading printed above the table ("--- Figure 2(b) ---").
+     *  Empty = table only. */
+    std::string title;
+
+    /** Header of the label column ("Error footprint", "Workload"...). */
+    std::string rowHeader;
+
+    std::vector<std::string> rowLabels;
+    std::vector<std::string> colHeaders;
+
+    /** Formatted value of cell (row, col). */
+    std::function<std::string(size_t row, size_t col)> cell;
+
+    /**
+     * Optional trailing rows computed from the full cell matrix after
+     * every cell ran (e.g. a per-column "Average" row). Each returned
+     * row is label + one cell per column.
+     */
+    std::function<std::vector<std::vector<std::string>>(
+        const std::vector<std::vector<std::string>> &cells)>
+        summary;
+
+    /**
+     * Evaluate cells over the worker pool. Leave on for grids of
+     * Monte-Carlo campaigns (each cell's inner sweep then degrades to
+     * serial via the nested-parallelFor rule); analytic grids may
+     * clear it to keep the pool free for an outer driver.
+     */
+    bool parallelCells = true;
+};
+
+/** An executed campaign: the raw cells plus the rendered table. */
+struct CampaignResult
+{
+    std::string title;
+    std::vector<std::string> headers; ///< rowHeader + colHeaders
+    std::vector<std::vector<std::string>> rows; ///< label + cells (+summary)
+    std::vector<std::vector<std::string>> cells; ///< raw grid cells only
+
+    /** Assemble the tdc::Table (header + rows). */
+    Table toTable() const;
+
+    /** Title (when present), blank line, then the table. */
+    std::string render() const;
+
+    void print() const;
+};
+
+/** Execute the grid: all cells, then summary rows, reduced in order. */
+CampaignResult runCampaignGrid(const CampaignGrid &grid);
+
+/**
+ * The protection-scheme axis of an injection campaign: the paper's 2D
+ * banks, the conventional interleaved per-word codes of Figures 3(a)
+ * and 3(b), and the related-work HV product code.
+ */
+struct InjectionScheme
+{
+    enum class Kind
+    {
+        kConventional, ///< ProtectedArray: per-word code + interleave
+        kTwoDim,       ///< TwoDimArray bank (runs the recovery sweep)
+        kProductCode,  ///< ProductCodeArray (HV parity)
+    };
+
+    Kind kind = Kind::kTwoDim;
+
+    /** kConventional: the per-word code, geometry, and interleave. */
+    CodeKind code = CodeKind::kSecDed;
+    size_t wordBits = 64;
+    size_t degree = 4;
+    size_t rows = 256;
+
+    /** kTwoDim: the bank configuration. */
+    TwoDimConfig config = TwoDimConfig::l1Default();
+
+    /** kProductCode: array columns (rows field above is shared). */
+    size_t cols = 256;
+
+    static InjectionScheme conventional(CodeKind code, size_t degree,
+                                        size_t rows = 256,
+                                        size_t word_bits = 64);
+    static InjectionScheme twoDim(const TwoDimConfig &config);
+    static InjectionScheme productCode(size_t rows, size_t cols);
+};
+
+/** Outcome counters of one injection campaign (summed in trial order). */
+struct InjectionOutcome
+{
+    int trials = 0;
+    /** Array repaired and every word read back equal to the golden data. */
+    int corrected = 0;
+    /** Not repaired, but every wrong word was flagged (no silent loss). */
+    int detectedOnly = 0;
+    /** At least one word read back wrong without any error flagged. */
+    int silent = 0;
+
+    /** Coverage verdict string used by the figure tables. */
+    std::string verdict() const;
+
+    bool operator==(const InjectionOutcome &) const = default;
+};
+
+/**
+ * Run @p trials of (fill with random data, inject one @p fault event,
+ * repair through the scheme's machinery, verify against the golden
+ * data). Trial i draws all randomness from shardSeed(seed, i); trials
+ * shard over the worker pool — bit-identical at any thread count. The
+ * kTwoDim arm executes over reliability/recovery_sweep.
+ */
+InjectionOutcome runInjectionCampaign(const InjectionScheme &scheme,
+                                      const FaultModel &fault, int trials,
+                                      uint64_t seed);
+
+} // namespace tdc
+
+#endif // TDC_RELIABILITY_CAMPAIGN_HH

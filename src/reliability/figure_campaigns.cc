@@ -1,0 +1,319 @@
+#include "reliability/figure_campaigns.hh"
+
+#include "common/parallel.hh"
+#include "core/twod_array.hh"
+#include "ecc/cost_model.hh"
+#include "reliability/soft_error_model.hh"
+#include "reliability/yield_model.hh"
+#include "vlsi/sram_model.hh"
+#include "vlsi/tech.hh"
+
+namespace tdc
+{
+
+namespace
+{
+
+/** Extra read energy of a coded array vs. a plain one (Figure 1(c)). */
+double
+extraEnergyPerRead(CodeKind kind, size_t capacity_bytes, size_t word_bits,
+                   size_t banks)
+{
+    const CodingCost cost = codingCost(kind, word_bits);
+    const SramMetrics plain =
+        cacheArrayMetrics(capacity_bytes, word_bits, 0, 2, banks,
+                          SramObjective::kBalanced);
+    const SramMetrics coded =
+        cacheArrayMetrics(capacity_bytes, word_bits, cost.checkBits, 2,
+                          banks, SramObjective::kBalanced);
+    const double coding_logic =
+        defaultTech().ePerGate * double(cost.detectGates);
+    return (coded.readEnergy + coding_logic) / plain.readEnergy - 1.0;
+}
+
+std::vector<std::string>
+figure1RowLabels()
+{
+    std::vector<std::string> labels;
+    for (CodeKind kind : kFigure1Kinds)
+        labels.push_back(codeKindName(kind));
+    return labels;
+}
+
+} // namespace
+
+CampaignResult
+figure1StorageCampaign()
+{
+    CampaignGrid grid;
+    grid.rowHeader = "Code";
+    grid.rowLabels = figure1RowLabels();
+    grid.colHeaders = {"HD", "64b word", "256b word"};
+    grid.parallelCells = false;
+    grid.cell = [](size_t row, size_t col) -> std::string {
+        const CodeKind kind = kFigure1Kinds[row];
+        switch (col) {
+          case 0:
+            return std::to_string(makeCode(kind, 64)->minDistance());
+          case 1:
+            return Table::pct(codingCost(kind, 64).storageOverhead);
+          default:
+            return Table::pct(codingCost(kind, 256).storageOverhead);
+        }
+    };
+    return runCampaignGrid(grid);
+}
+
+CampaignResult
+figure1EnergyCampaign()
+{
+    CampaignGrid grid;
+    grid.rowHeader = "Code";
+    grid.rowLabels = figure1RowLabels();
+    grid.colHeaders = {"64b word / 64kB array", "256b word / 4MB array"};
+    grid.parallelCells = false;
+    grid.cell = [](size_t row, size_t col) {
+        const CodeKind kind = kFigure1Kinds[row];
+        return col == 0
+                   ? Table::pct(extraEnergyPerRead(kind, 64 * 1024, 64, 1))
+                   : Table::pct(
+                         extraEnergyPerRead(kind, 4 * 1024 * 1024, 256, 8));
+    };
+    return runCampaignGrid(grid);
+}
+
+CampaignResult
+figure2EnergyCampaign(const std::string &title, size_t capacity_bytes,
+                      size_t word_bits, size_t banks)
+{
+    static const SramObjective kObjectives[] = {
+        SramObjective::kDelay,
+        SramObjective::kDelayArea,
+        SramObjective::kBalanced,
+        SramObjective::kPower,
+    };
+    const size_t check = checkBitsOf(CodeKind::kSecDed, word_bits);
+    const double base = cacheArrayMetrics(capacity_bytes, word_bits, check,
+                                          1, banks, SramObjective::kDelay)
+                            .readEnergy;
+
+    CampaignGrid grid;
+    grid.title = title;
+    grid.rowHeader = "Degree";
+    for (size_t degree = 1; degree <= 16; degree *= 2)
+        grid.rowLabels.push_back(std::to_string(degree) + ":1");
+    grid.colHeaders = {"Delay-opt", "Delay+Area-opt", "Balanced",
+                       "Power-opt"};
+    grid.parallelCells = false;
+    grid.cell = [=](size_t row, size_t col) {
+        const size_t degree = size_t(1) << row;
+        const SramMetrics m =
+            cacheArrayMetrics(capacity_bytes, word_bits, check, degree,
+                              banks, kObjectives[col]);
+        return Table::num(m.readEnergy / base, 2);
+    };
+    return runCampaignGrid(grid);
+}
+
+CampaignResult
+figure3OverheadCampaign()
+{
+    CampaignGrid grid;
+    grid.rowHeader = "Scheme";
+    grid.rowLabels = {"(a) SECDED+Intv4", "(b) OECNED+Intv4",
+                      "(c) 2D EDC8+Intv4/EDC32"};
+    grid.colHeaders = {"Storage overhead", "Guaranteed coverage"};
+    grid.parallelCells = false;
+    grid.cell = [](size_t row, size_t col) -> std::string {
+        if (col == 1) {
+            static const char *coverage[] = {"4-bit row bursts",
+                                             "32-bit row bursts",
+                                             "32x32-bit clusters"};
+            return coverage[row];
+        }
+        switch (row) {
+          case 0:
+            return Table::pct(
+                makeCode(CodeKind::kSecDed, 64)->storageOverhead());
+          case 1:
+            return Table::pct(
+                makeCode(CodeKind::kOecNed, 64)->storageOverhead());
+          default:
+            return Table::pct(
+                TwoDimArray(TwoDimConfig::l1Default()).storageOverhead());
+        }
+    };
+    return runCampaignGrid(grid);
+}
+
+CampaignResult
+figure3InjectionCampaign(int trials, uint64_t seed)
+{
+    // Scheme axis: the two conventional baselines and the two 2D
+    // variants (EDC8 horizontal; SECDED horizontal for full columns).
+    TwoDimConfig secded_cfg = TwoDimConfig::l1Default();
+    secded_cfg.horizontalKind = CodeKind::kSecDed;
+    const std::vector<InjectionScheme> schemes = {
+        InjectionScheme::conventional(CodeKind::kSecDed, 4),
+        InjectionScheme::conventional(CodeKind::kOecNed, 4),
+        InjectionScheme::twoDim(TwoDimConfig::l1Default()),
+        InjectionScheme::twoDim(secded_cfg),
+    };
+
+    // Fault-model axis: the paper's footprint sweep.
+    const std::pair<size_t, size_t> footprints[] = {
+        {1, 1},  {4, 1},  {8, 1},   {32, 1},
+        {4, 4},  {8, 8},  {16, 16}, {32, 32},
+        {1, 32}, {1, 256},
+    };
+
+    CampaignGrid grid;
+    grid.rowHeader = "Error footprint";
+    std::vector<FaultModel> faults;
+    for (auto [w, h] : footprints) {
+        faults.push_back(FaultModel::cluster(w, h));
+        grid.rowLabels.push_back(std::to_string(w) + "x" +
+                                 std::to_string(h));
+    }
+    grid.colHeaders = {"SECDED+Intv4", "OECNED+Intv4", "2D (EDC8, EDC32)",
+                       "2D (SECDED, EDC32)"};
+    const size_t nc = grid.colHeaders.size();
+    grid.cell = [=](size_t row, size_t col) {
+        // Each cell is its own campaign with a counter-based seed, so
+        // the grid is a pure function of (trials, seed).
+        const uint64_t cell_seed = shardSeed(seed, row * nc + col);
+        return runInjectionCampaign(schemes[col], faults[row], trials,
+                                    cell_seed)
+            .verdict();
+    };
+    return runCampaignGrid(grid);
+}
+
+CampaignResult
+figure7Campaign(const std::string &title, const CacheGeometry &geom,
+                const std::vector<SchemeSpec> &schemes)
+{
+    const SchemeSpec reference =
+        SchemeSpec::conventional(CodeKind::kSecDed, 2);
+
+    CampaignGrid grid;
+    grid.title = title;
+    grid.rowHeader = "Scheme";
+    for (const SchemeSpec &s : schemes)
+        grid.rowLabels.push_back(s.label());
+    grid.colHeaders = {"Code area", "Coding latency", "Dynamic power"};
+    grid.parallelCells = false;
+    grid.cell = [=](size_t row, size_t col) {
+        const NormalizedOverhead n =
+            normalizeScheme(schemes[row], reference, geom);
+        const double v = col == 0 ? n.area : col == 1 ? n.latency : n.power;
+        return Table::pct(v, 0);
+    };
+    return runCampaignGrid(grid);
+}
+
+CampaignResult
+figure8YieldCampaign()
+{
+    static const double kFailingCells[] = {0.0,    400.0,  800.0, 1600.0,
+                                           2400.0, 3200.0, 4000.0};
+    CampaignGrid grid;
+    grid.rowHeader = "Failing cells";
+    for (double f : kFailingCells)
+        grid.rowLabels.push_back(Table::num(f, 0));
+    grid.colHeaders = {"Spare_128", "ECC only", "ECC + Spare_16",
+                       "ECC + Spare_32"};
+    grid.parallelCells = false;
+    grid.cell = [](size_t row, size_t col) {
+        const YieldModel ym(YieldParams::l2Cache16MB());
+        const double f = kFailingCells[row];
+        switch (col) {
+          case 0: return Table::pct(ym.yieldSpareOnly(f, 128));
+          case 1: return Table::pct(ym.yieldEccOnly(f));
+          case 2: return Table::pct(ym.yieldEccPlusSpares(f, 16));
+          default: return Table::pct(ym.yieldEccPlusSpares(f, 32));
+        }
+    };
+    return runCampaignGrid(grid);
+}
+
+CampaignResult
+figure8YieldMonteCarloCampaign(int trials, uint64_t seed)
+{
+    static const size_t kFaults[] = {200, 400, 800};
+    YieldParams small;
+    small.words = 65536;
+    small.wordBits = 72;
+    const YieldModel model(small);
+
+    CampaignGrid grid;
+    grid.rowHeader = "Failing cells";
+    for (size_t f : kFaults)
+        grid.rowLabels.push_back(std::to_string(f));
+    grid.colHeaders = {"ECC-only (analytic)", "ECC-only (Monte Carlo)"};
+    grid.cell = [=, &model](size_t row, size_t col) {
+        const size_t f = kFaults[row];
+        if (col == 0)
+            return Table::pct(model.yieldEccOnly(double(f)));
+        return Table::pct(
+            model.monteCarloParallel(f, 16, trials, shardSeed(seed, row))
+                .eccOnly);
+    };
+    return runCampaignGrid(grid);
+}
+
+CampaignResult
+figure8SoftErrorCampaign()
+{
+    static const double kHer[] = {0.000005, 0.00001, 0.00005};
+
+    CampaignGrid grid;
+    grid.rowHeader = "Years";
+    for (double years = 0.0; years <= 5.0; years += 1.0)
+        grid.rowLabels.push_back(Table::num(years, 0));
+    grid.colHeaders = {"With 2D coding", "No 2D, HER=0.0005%",
+                       "No 2D, HER=0.001%", "No 2D, HER=0.005%"};
+    grid.parallelCells = false;
+    grid.cell = [](size_t row, size_t col) {
+        const double years = double(row);
+        if (col == 0) {
+            const SoftErrorModel m(ReliabilityParams::figure8b(kHer[0]));
+            return Table::pct(m.successProbabilityWith2D(years));
+        }
+        const SoftErrorModel m(ReliabilityParams::figure8b(kHer[col - 1]));
+        return Table::pct(m.successProbability(years));
+    };
+    return runCampaignGrid(grid);
+}
+
+CampaignResult
+relatedWorkCampaign(int trials, uint64_t seed)
+{
+    const std::vector<InjectionScheme> schemes = {
+        InjectionScheme::productCode(256, 256),
+        InjectionScheme::twoDim(TwoDimConfig::l1Default()),
+    };
+    const std::pair<size_t, size_t> footprints[] = {
+        {1, 1}, {3, 1}, {1, 3}, {2, 2}, {8, 8}, {32, 32},
+    };
+
+    CampaignGrid grid;
+    grid.rowHeader = "Error footprint";
+    std::vector<FaultModel> faults;
+    for (auto [w, h] : footprints) {
+        faults.push_back(FaultModel::cluster(w, h));
+        grid.rowLabels.push_back(std::to_string(w) + "x" +
+                                 std::to_string(h));
+    }
+    grid.colHeaders = {"HV product code", "2D (EDC8+Intv4, EDC32)"};
+    const size_t nc = grid.colHeaders.size();
+    grid.cell = [=](size_t row, size_t col) {
+        const uint64_t cell_seed = shardSeed(seed, row * nc + col);
+        return runInjectionCampaign(schemes[col], faults[row], trials,
+                                    cell_seed)
+            .verdict();
+    };
+    return runCampaignGrid(grid);
+}
+
+} // namespace tdc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Declarative definitions of the paper's figure campaigns, one builder
+ * per panel, all executed through the unified campaign driver
+ * (reliability/campaign.hh). The bench_fig* binaries are thin mains
+ * over these builders, and the golden-pin tests execute the same
+ * builders — so the printed tables and the pinned tables can never
+ * drift apart.
+ */
+
+#ifndef TDC_RELIABILITY_FIGURE_CAMPAIGNS_HH
+#define TDC_RELIABILITY_FIGURE_CAMPAIGNS_HH
+
+#include "reliability/campaign.hh"
+#include "vlsi/scheme_overhead.hh"
+
+namespace tdc
+{
+
+/** Figure 1(b): extra check-bit storage for 64b and 256b words. */
+CampaignResult figure1StorageCampaign();
+
+/** Figure 1(c): extra dynamic energy per read vs. code strength. */
+CampaignResult figure1EnergyCampaign();
+
+/**
+ * Figure 2(b)/(c): normalized read energy vs. physical interleave
+ * degree under each optimizer objective, for one cache geometry.
+ */
+CampaignResult figure2EnergyCampaign(const std::string &title,
+                                     size_t capacity_bytes,
+                                     size_t word_bits, size_t banks);
+
+/** Figure 3 header table: storage overhead + guaranteed coverage. */
+CampaignResult figure3OverheadCampaign();
+
+/**
+ * Figure 3 injection grid: error footprints x protection schemes on a
+ * 256x256 data array, verdicts by Monte-Carlo fault injection.
+ */
+CampaignResult figure3InjectionCampaign(int trials = 40,
+                                        uint64_t seed = 2026);
+
+/**
+ * Figure 7(a)/(b): code area / latency / power of schemes with the
+ * same 32x32 coverage target, normalized to SECDED+Intv2.
+ */
+CampaignResult figure7Campaign(const std::string &title,
+                               const CacheGeometry &geom,
+                               const std::vector<SchemeSpec> &schemes);
+
+/** Figure 8(a): 16MB L2 yield vs. failing cells (analytic). */
+CampaignResult figure8YieldCampaign();
+
+/** Figure 8(a) cross-check: Monte Carlo vs. analytic ECC-only yield. */
+CampaignResult figure8YieldMonteCarloCampaign(int trials = 300,
+                                              uint64_t seed = 99);
+
+/** Figure 8(b): P(all soft errors correctable) over operating years. */
+CampaignResult figure8SoftErrorCampaign();
+
+/**
+ * Related-work grid (Section 6): the HV product code vs. the paper's
+ * 2D coding under the same injected footprints.
+ */
+CampaignResult relatedWorkCampaign(int trials = 50, uint64_t seed = 60606);
+
+} // namespace tdc
+
+#endif // TDC_RELIABILITY_FIGURE_CAMPAIGNS_HH

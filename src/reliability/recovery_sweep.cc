@@ -45,8 +45,7 @@ runTrial(const RecoverySweepParams &p, size_t trial)
     }
 
     FaultInjector inj(rng);
-    inj.injectCluster(arr.cells(), p.clusterWidth, p.clusterHeight,
-                      p.clusterDensity);
+    inj.inject(arr.cells(), p.fault);
 
     const bool scrubbed = arr.scrub();
     if (arr.stats().recoveries > 0) {

@@ -12,23 +12,20 @@
 
 #include <cstdint>
 
+#include "array/fault.hh"
 #include "core/twod_config.hh"
 
 namespace tdc
 {
 
-/** One injection campaign: geometry, error footprint, trial budget. */
+/** One injection campaign: geometry, fault model, trial budget. */
 struct RecoverySweepParams
 {
     /** Bank configuration under test. */
     TwoDimConfig config = TwoDimConfig::l1Default();
 
-    /** Injected cluster footprint (physical columns x rows). */
-    size_t clusterWidth = 32;
-    size_t clusterHeight = 32;
-
-    /** Per-cell flip probability inside the footprint. */
-    double clusterDensity = 1.0;
+    /** Injected fault event (one per trial). */
+    FaultModel fault = FaultModel::cluster(32, 32);
 
     /** Independent trials to run. */
     int trials = 32;

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
 #include "array/fault.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "core/twod_cache_store.hh"
 
@@ -16,6 +21,32 @@ smallBank()
     cfg.dataRows = 32;
     cfg.verticalParityRows = 8;
     return cfg;
+}
+
+TEST(TwoDimCacheStore, ZeroBankConstructionThrows)
+{
+    // Regression: storageOverhead() (and every other bankArray[0]
+    // accessor) used to dereference an empty bank vector when the
+    // store was built with zero banks; construction now refuses.
+    EXPECT_THROW(TwoDimCacheStore(smallBank(), 0), std::invalid_argument);
+}
+
+TEST(TwoDimCacheStore, OutOfRangeBankIndicesThrowWithoutSideEffects)
+{
+    TwoDimCacheStore store(smallBank(), 2);
+    for (size_t w = 0; w < store.totalWords(); ++w)
+        store.writeWord(w, BitVector(64, w));
+    EXPECT_THROW(store.recoverBanks({0, 2}), std::out_of_range);
+    EXPECT_THROW(
+        store.injectAndRecover({{0, FaultModel::singleBit()},
+                                {2, FaultModel::cluster(4, 4)}},
+                               1),
+        std::out_of_range);
+    // The bad batch was rejected up front: nothing was injected or
+    // recovered, and every word still reads clean.
+    EXPECT_EQ(store.aggregateStats().recoveries, 0u);
+    for (size_t w = 0; w < store.totalWords(); ++w)
+        ASSERT_EQ(store.readWord(w).data.toUint64(), w);
 }
 
 TEST(TwoDimCacheStore, Geometry)
@@ -94,6 +125,93 @@ TEST(TwoDimCacheStore, AggregateStatsSumBanks)
     const TwoDimStats s = store.aggregateStats();
     EXPECT_EQ(s.writes, store.totalWords());
     EXPECT_EQ(s.readBeforeWrites, store.totalWords());
+}
+
+TEST(TwoDimCacheStore, RecoverAllReportsEveryBank)
+{
+    Rng rng(15);
+    TwoDimCacheStore store(smallBank(), 3);
+    for (size_t w = 0; w < store.totalWords(); ++w)
+        store.writeWord(w, BitVector(64, rng.next()));
+    FaultInjector inj(rng);
+    inj.injectCluster(store.bank(1).cells(), 16, 4, 1.0);
+
+    const CacheRecoveryReport report = store.recoverAll();
+    EXPECT_TRUE(report.success);
+    ASSERT_EQ(report.banks.size(), 3u);
+    for (size_t b = 0; b < 3; ++b)
+        EXPECT_EQ(report.banks[b].bank, b);
+    // Only the damaged bank reconstructs rows; the summed counters
+    // match the per-bank reports.
+    uint64_t rows_sum = 0;
+    for (const auto &br : report.banks)
+        rows_sum += br.report.rowsReconstructed.size();
+    EXPECT_EQ(report.rowsReconstructed, rows_sum);
+    EXPECT_GT(report.banks[1].report.rowsReconstructed.size(), 0u);
+    EXPECT_EQ(report.banks[0].report.rowsReconstructed.size(), 0u);
+}
+
+TEST(TwoDimCacheStore, InjectAndRecoverHitsOnlyTargetedBanks)
+{
+    Rng rng(16);
+    TwoDimCacheStore store(smallBank(), 4);
+    for (size_t w = 0; w < store.totalWords(); ++w)
+        store.writeWord(w, BitVector(64, rng.next()));
+
+    const std::vector<BankFaultSpec> events = {
+        {2, FaultModel::cluster(16, 4)},
+        {0, FaultModel::rowBurst(12)},
+        {2, FaultModel::columnBurst(3)},
+    };
+    const CacheRecoveryReport report = store.injectAndRecover(events, 77);
+    EXPECT_TRUE(report.success);
+    // Banks 0 and 2 were swept (deduped, ascending); 1 and 3 untouched.
+    ASSERT_EQ(report.banks.size(), 2u);
+    EXPECT_EQ(report.banks[0].bank, 0u);
+    EXPECT_EQ(report.banks[1].bank, 2u);
+    EXPECT_EQ(store.bank(1).stats().recoveries, 0u);
+    EXPECT_EQ(store.bank(3).stats().recoveries, 0u);
+    EXPECT_EQ(store.bank(0).stats().recoveries, 1u);
+    EXPECT_EQ(store.bank(2).stats().recoveries, 1u);
+}
+
+TEST(TwoDimCacheStore, BatchSweepsBitIdenticalAtEveryThreadCount)
+{
+    struct ThreadGuard
+    {
+        ~ThreadGuard() { setParallelThreads(0); }
+    } guard;
+
+    // One deterministic scenario, re-run at every pool size: same
+    // repaired words, same merged report, same aggregate stats.
+    const auto scenario = [] {
+        Rng rng(17);
+        TwoDimCacheStore store(smallBank(), 4);
+        for (size_t w = 0; w < store.totalWords(); ++w)
+            store.writeWord(w, BitVector(64, rng.next()));
+        const std::vector<BankFaultSpec> events = {
+            {0, FaultModel::cluster(32, 8)},
+            {1, FaultModel::cluster(8, 8)},
+            {3, FaultModel::rowBurst(16)},
+        };
+        const CacheRecoveryReport rep = store.injectAndRecover(events, 5);
+        const bool scrubbed = store.scrubAll();
+        std::vector<uint64_t> words;
+        for (size_t w = 0; w < store.totalWords(); ++w)
+            words.push_back(store.readWord(w).data.toUint64());
+        return std::tuple(rep.success, rep.rowReads,
+                          rep.rowsReconstructed, rep.columnsRepaired,
+                          scrubbed, store.aggregateStats(),
+                          std::move(words));
+    };
+
+    setParallelThreads(1);
+    const auto serial = scenario();
+    EXPECT_TRUE(std::get<0>(serial));
+    for (unsigned threads : {2u, 4u, 8u}) {
+        setParallelThreads(threads);
+        EXPECT_EQ(scenario(), serial) << threads << " threads";
+    }
 }
 
 TEST(TwoDimCacheStore, FailureInOneBankDoesNotAffectOthers)

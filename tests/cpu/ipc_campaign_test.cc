@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Determinism-differential tests for the Figure 5 IPC-loss campaign:
+ * the campaign table must equal the values computed by hand from a
+ * serial cmp_batch (matched-pair baseline), and must be bit-identical
+ * at every worker-pool size.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "common/table.hh"
+#include "cpu/ipc_campaign.hh"
+
+namespace tdc
+{
+namespace
+{
+
+struct ThreadGuard
+{
+    ~ThreadGuard() { setParallelThreads(0); }
+};
+
+IpcLossCampaignSpec
+smallSpec()
+{
+    IpcLossCampaignSpec spec =
+        IpcLossCampaignSpec::figure5(CmpConfig::fat(), "--- test ---");
+    spec.cycles = 20000; // keep the grid cheap for unit testing
+    spec.seed = 7;
+    return spec;
+}
+
+TEST(IpcCampaign, MatchesHandComputedLossTable)
+{
+    const IpcLossCampaignSpec spec = smallSpec();
+    const CampaignResult res = runIpcLossCampaign(spec);
+
+    const std::vector<WorkloadProfile> &workloads = standardWorkloads();
+    ASSERT_EQ(res.cells.size(), workloads.size());
+    ASSERT_EQ(res.rows.size(), workloads.size() + 1); // + Average row
+    EXPECT_EQ(res.rows.back()[0], "Average");
+
+    // Recompute one workload row with plain matched-pair runs.
+    const size_t wi = 2;
+    std::vector<CmpRunSpec> pair = {
+        {spec.machine, workloads[wi], ProtectionConfig::none(), spec.seed},
+        {spec.machine, workloads[wi], ProtectionConfig::full(true),
+         spec.seed},
+    };
+    const std::vector<CmpSimResult> runs = runCmpBatch(pair, spec.cycles);
+    const double loss =
+        (runs[0].ipc() - runs[1].ipc()) / runs[0].ipc();
+    // Column 3 is "L1(steal) + L2" == ProtectionConfig::full(true).
+    EXPECT_EQ(res.cells[wi][3], Table::pct(loss));
+}
+
+TEST(IpcCampaign, IdenticalAtEveryThreadCount)
+{
+    ThreadGuard guard;
+    setParallelThreads(1);
+    const std::string serial = runIpcLossCampaign(smallSpec()).render();
+    for (unsigned threads : {2u, 4u, 8u}) {
+        setParallelThreads(threads);
+        EXPECT_EQ(runIpcLossCampaign(smallSpec()).render(), serial)
+            << threads << " threads";
+    }
+}
+
+} // namespace
+} // namespace tdc

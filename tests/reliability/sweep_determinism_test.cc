@@ -29,8 +29,7 @@ TEST(SweepDeterminism, RecoverySweepIdenticalAtEveryThreadCount)
     RecoverySweepParams params;
     params.trials = 12;
     params.seed = 2026;
-    params.clusterWidth = 16;
-    params.clusterHeight = 16;
+    params.fault = FaultModel::cluster(16, 16);
 
     setParallelThreads(1);
     const RecoverySweepResult serial = runRecoverySweep(params);
@@ -59,8 +58,7 @@ TEST(SweepDeterminism, BeyondCoverageClustersAreCountedNotSilent)
     RecoverySweepParams params;
     params.trials = 6;
     params.seed = 5;
-    params.clusterWidth = 33;
-    params.clusterHeight = 64;
+    params.fault = FaultModel::cluster(33, 64);
     const RecoverySweepResult res = runRecoverySweep(params);
     EXPECT_EQ(res.trials, 6);
     EXPECT_EQ(res.recovered, 0);
