@@ -1,250 +1,14 @@
 /**
  * @file
- * Ablation studies on the 2D design choices the paper calls out:
- *
- *  1. Vertical interleave factor V (8/16/32/64): coverage height vs.
- *     vertical storage overhead and recovery latency.
- *  2. Horizontal code choice (EDC8 vs SECDED): inline-correction
- *     capability and storage.
- *  3. Port-stealing window: how much store-queue residency the L1
- *     needs before the read-before-write reads disappear.
- *  4. Read-before-write on/off: the isolated IPC cost of vertical
- *     parity maintenance.
+ * Ablation studies on the 2D design choices — thin wrapper over the tdc_run
+ * driver ("tdc_run --figure ablation"); table output is byte-identical to
+ * the historical standalone bench.
  */
 
-#include <cstdio>
-
-#include "array/fault.hh"
-#include "common/rng.hh"
-#include "common/table.hh"
-#include "core/twod_array.hh"
-#include "cpu/cmp_simulator.hh"
-#include "reliability/scrub_model.hh"
-
-using namespace tdc;
-
-namespace
-{
-
-void
-verticalInterleaveSweep()
-{
-    std::printf("--- Ablation 1: vertical interleave factor (256-row "
-                "bank, EDC8+Intv4 horizontal) ---\n\n");
-    Rng rng(31337);
-    Table t({"V (parity rows)", "Vertical storage", "Total overhead",
-             "Max cluster height", "Corrects 32x32?", "Recovery row reads"});
-    for (size_t v : {8u, 16u, 32u, 64u}) {
-        TwoDimConfig cfg = TwoDimConfig::l1Default();
-        cfg.verticalParityRows = v;
-        TwoDimArray arr(cfg);
-        for (size_t r = 0; r < arr.rows(); ++r)
-            for (size_t s = 0; s < arr.wordsPerRow(); ++s)
-                arr.writeWord(r, s, BitVector(64, rng.next()));
-
-        FaultInjector inj(rng);
-        inj.injectCluster(arr.cells(), 32, 32, 1.0);
-        const bool ok = arr.scrub();
-        const uint64_t reads = arr.lastRecovery().rowReads;
-        t.addRow({std::to_string(v),
-                  Table::pct(double(v) / double(cfg.dataRows)),
-                  Table::pct(arr.storageOverhead()),
-                  std::to_string(v), ok ? "yes" : "no",
-                  std::to_string(reads)});
-    }
-    t.print();
-    std::printf("\nV trades vertical storage and coverage height; V=32 "
-                "(the paper's choice) is the\nsmallest factor that "
-                "covers 32x32 clusters.\n\n");
-}
-
-void
-horizontalCodeSweep()
-{
-    std::printf("--- Ablation 2: horizontal code choice ---\n\n");
-    Rng rng(777);
-    Table t({"Horizontal", "Storage (H only)", "Inline single-bit fix",
-             "Detect width (Intv4)", "32x32 corrected?"});
-    for (CodeKind kind : {CodeKind::kEdc8, CodeKind::kEdc16,
-                          CodeKind::kSecDed}) {
-        TwoDimConfig cfg = TwoDimConfig::l1Default();
-        cfg.horizontalKind = kind;
-        TwoDimArray arr(cfg);
-        for (size_t r = 0; r < arr.rows(); ++r)
-            for (size_t s = 0; s < arr.wordsPerRow(); ++s)
-                arr.writeWord(r, s, BitVector(64, rng.next()));
-        FaultInjector inj(rng);
-        inj.injectCluster(arr.cells(), 32, 32, 1.0);
-        const bool ok = arr.scrub();
-
-        const CodePtr code = makeCode(kind, 64);
-        t.addRow({codeKindName(kind), Table::pct(code->storageOverhead()),
-                  code->correctCapability() > 0 ? "yes" : "no",
-                  std::to_string(4 * code->burstDetectCapability()),
-                  ok ? "yes" : "no"});
-    }
-    t.print();
-    std::printf("\nSECDED horizontal adds inline correction (the yield "
-                "configuration of Section 5.2)\nat the same storage as "
-                "EDC8; EDC16 widens detection but doubles check bits.\n\n");
-}
-
-void
-stealWindowSweep()
-{
-    std::printf("--- Ablation 3: port-stealing window (fat CMP, OLTP) "
-                "---\n\n");
-    const WorkloadProfile &w = workloadByName("OLTP");
-    Table t({"Steal window (cycles)", "IPC loss vs baseline"});
-    CmpSimulator base(CmpConfig::fat(), w, ProtectionConfig::none(), 42);
-    const double base_ipc = base.run(120000).ipc();
-    for (unsigned window : {0u, 1u, 2u, 4u, 8u, 16u}) {
-        CmpConfig m = CmpConfig::fat();
-        m.stealWindow = window;
-        ProtectionConfig prot = ProtectionConfig::l1Only(window > 0);
-        CmpSimulator sim(m, w, prot, 42);
-        const double ipc = sim.run(120000).ipc();
-        t.addRow({std::to_string(window),
-                  Table::pct((base_ipc - ipc) / base_ipc)});
-    }
-    t.print();
-    std::printf("\nA few cycles of store-queue residency are enough to "
-                "absorb most read-before-\nwrite reads into idle port "
-                "slots.\n\n");
-}
-
-void
-writeThroughComparison()
-{
-    std::printf("--- Ablation 5: 2D write-back L1 vs EDC write-through "
-                "L1 (both over 2D L2) ---\n\n");
-    Table t({"Machine", "Workload", "Scheme", "IPC loss",
-             "L2 writes / 100 cycles"});
-    for (const CmpConfig &m : {CmpConfig::fat(), CmpConfig::lean()}) {
-        for (const char *name : {"OLTP", "Web"}) {
-            const WorkloadProfile &w = workloadByName(name);
-            CmpSimulator base(m, w, ProtectionConfig::none(), 42);
-            const double base_ipc = base.run(120000).ipc();
-            for (const ProtectionConfig &prot :
-                 {ProtectionConfig::full(true),
-                  ProtectionConfig::writeThroughL1()}) {
-                CmpSimulator sim(m, w, prot, 42);
-                const CmpSimResult r = sim.run(120000);
-                t.addRow({m.name, name, prot.label(),
-                          Table::pct((base_ipc - r.ipc()) / base_ipc),
-                          Table::num(r.per100(r.l2Writes), 1)});
-            }
-        }
-    }
-    t.print();
-    std::printf("\nWrite-through duplicates every store into the shared "
-                "L2: several times the L2\nwrite traffic of the "
-                "write-back 2D scheme, and a larger IPC cost on the "
-                "lean CMP\nwhose threads contend for L2 banks (the "
-                "Section 2.1/5.1 argument for 2D-protected\nwrite-back "
-                "L1 caches).\n\n");
-}
-
-void
-readBeforeWriteCost()
-{
-    std::printf("--- Ablation 4: isolated read-before-write cost "
-                "(full 2D, both machines) ---\n\n");
-    Table t({"Machine", "Workload", "Extra reads / 100 cycles",
-             "IPC loss"});
-    for (const CmpConfig &m : {CmpConfig::fat(), CmpConfig::lean()}) {
-        for (const char *name : {"OLTP", "Ocean"}) {
-            const WorkloadProfile &w = workloadByName(name);
-            CmpSimulator base(m, w, ProtectionConfig::none(), 42);
-            CmpSimulator prot(m, w, ProtectionConfig::full(true), 42);
-            const CmpSimResult rb = base.run(120000);
-            const CmpSimResult rp = prot.run(120000);
-            t.addRow({m.name, name,
-                      Table::num(rp.per100(rp.l1ExtraReads +
-                                           rp.l2ExtraReads), 1),
-                      Table::pct((rb.ipc() - rp.ipc()) / rb.ipc())});
-        }
-    }
-    t.print();
-    std::printf("\n");
-}
-
-void
-recoveryLatencySweep()
-{
-    std::printf("--- Ablation 7: recovery latency vs bank size "
-                "(Section 4: 'a few hundred or\n    thousand cycles, "
-                "depending on the number of rows') ---\n\n");
-    Rng rng(4242);
-    Table t({"Bank rows", "Fault", "Recovery row reads",
-             "Reads / bank rows"});
-    for (size_t rows : {64u, 128u, 256u, 512u, 1024u}) {
-        TwoDimConfig cfg = TwoDimConfig::l1Default();
-        cfg.dataRows = rows;
-        TwoDimArray arr(cfg);
-        for (size_t r = 0; r < arr.rows(); ++r)
-            for (size_t s = 0; s < arr.wordsPerRow(); ++s)
-                arr.writeWord(r, s, BitVector(64, rng.next()));
-        FaultInjector inj(rng);
-        inj.injectCluster(arr.cells(), 32, 32, 1.0);
-        const RecoveryReport rep = arr.recover();
-        t.addRow({std::to_string(rows),
-                  rep.success ? "32x32 corrected" : "FAILED",
-                  std::to_string(rep.rowReads),
-                  Table::num(double(rep.rowReads) / double(rows), 2)});
-    }
-    t.print();
-    std::printf("\nRecovery costs a small constant number of bank "
-                "marches (O(rows)), independent\nof the error size — "
-                "cheap because errors are rare (the paper's argument "
-                "that the\nrecovery path needs no optimization).\n\n");
-}
-
-void
-scrubIntervalSweep()
-{
-    std::printf("--- Ablation 6: scrub interval vs per-read checking "
-                "(16MB, SECDED words) ---\n\n");
-    Table t({"Scrub interval", "E[uncorrectable] / 5 years",
-             "P(survive 5 years)"});
-    const double mission = 5 * 8760.0;
-    // Scale the soft-error rate up to a harsh environment so the
-    // differences are visible at table precision.
-    auto params = [](double interval) {
-        ScrubParams p;
-        p.words = 2 * 1024 * 1024;
-        p.errorsPerHour = 0.5;
-        p.scrubIntervalHours = interval;
-        return p;
-    };
-    for (double interval : {0.0, 1.0, 24.0, 24.0 * 7, 24.0 * 30}) {
-        ScrubModel m(params(interval));
-        const char *label = interval == 0.0 ? "per-read check"
-                                            : nullptr;
-        t.addRow({label != nullptr ? label
-                                   : Table::num(interval, 0) + " h",
-                  Table::num(m.expectedUncorrectable(mission), 4),
-                  Table::pct(m.survivalProbability(mission), 2)});
-    }
-    t.print();
-    std::printf("\nScrubbing's vulnerability window grows linearly with "
-                "the interval (Section 2.1);\nchecking on every read "
-                "eliminates it, which is why the 2D scheme keeps the\n"
-                "horizontal check on the access path.\n\n");
-}
-
-} // namespace
+#include "driver/tdc_run.hh"
 
 int
 main()
 {
-    std::printf("=== Ablations: 2D coding design choices ===\n\n");
-    verticalInterleaveSweep();
-    horizontalCodeSweep();
-    stealWindowSweep();
-    readBeforeWriteCost();
-    writeThroughComparison();
-    scrubIntervalSweep();
-    recoveryLatencySweep();
-    return 0;
+    return tdc::tdcRunMain({"--figure", "ablation"});
 }

@@ -1,37 +1,14 @@
 /**
  * @file
- * Figure 1(b)/(c) — storage and energy overheads of per-word
- * EDC/ECC as code strength scales.
- *
- * (b): extra check-bit storage for 64-bit and 256-bit words.
- * (c): extra dynamic energy per read for a 64kB array of 64-bit words
- *      and a 4MB array of 256-bit words, relative to an unprotected
- *      array of the same geometry.
- *
- * Both panels are declarative grids executed by the unified campaign
- * driver (reliability/figure_campaigns.hh); the golden-pin tests run
- * the very same builders.
+ * Figure 1(b)/(c): storage and energy overheads of per-word EDC/ECC — thin wrapper over the tdc_run
+ * driver ("tdc_run --figure fig1"); table output is byte-identical to
+ * the historical standalone bench.
  */
 
-#include <cstdio>
-
-#include "reliability/figure_campaigns.hh"
-
-using namespace tdc;
+#include "driver/tdc_run.hh"
 
 int
 main()
 {
-    std::printf("=== Figure 1(b): extra memory storage ===\n\n");
-    figure1StorageCampaign().print();
-    std::printf("\nPaper shape: storage grows steeply with correction "
-                "strength; 64b words pay\nproportionally more "
-                "(OECNED/64b = 89.1%% as quoted for Figure 3(b)).\n");
-
-    std::printf("\n=== Figure 1(c): extra energy per read ===\n\n");
-    figure1EnergyCampaign().print();
-    std::printf("\nPaper shape: energy overhead grows superlinearly with "
-                "code strength (check-bit\ncolumns + wider XOR trees); "
-                "EDC8 and SECDED stay cheap.\n");
-    return 0;
+    return tdc::tdcRunMain({"--figure", "fig1"});
 }

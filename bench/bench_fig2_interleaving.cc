@@ -1,38 +1,14 @@
 /**
  * @file
- * Figure 2(b)/(c) — dynamic read energy vs. physical bit-interleaving
- * degree, for the 64kB L1 ((72,64) SECDED words) and the 4MB L2
- * ((266,256) SECDED words), under each optimizer objective.
- *
- * Energies are normalized to the 1:1 (no interleaving) delay-optimal
- * design point of the same cache, matching the paper's presentation.
- * Each panel is a declarative grid executed by the unified campaign
- * driver (reliability/figure_campaigns.hh).
+ * Figure 2(b)/(c): read energy vs physical bit-interleaving degree — thin wrapper over the tdc_run
+ * driver ("tdc_run --figure fig2"); table output is byte-identical to
+ * the historical standalone bench.
  */
 
-#include <cstdio>
-
-#include "reliability/figure_campaigns.hh"
-
-using namespace tdc;
+#include "driver/tdc_run.hh"
 
 int
 main()
 {
-    std::printf("=== Figure 2: normalized energy per read vs interleave "
-                "degree ===\n\n");
-    figure2EnergyCampaign(
-        "--- Figure 2(b): 64kB cache, (72,64) SECDED words ---",
-        64 * 1024, 64, 1)
-        .print();
-    std::printf("\n");
-    figure2EnergyCampaign(
-        "--- Figure 2(c): 4MB cache, (266,256) SECDED words, 8 banks ---",
-        4 * 1024 * 1024, 256, 8)
-        .print();
-    std::printf("\n");
-    std::printf("Paper shape: energy rises with interleave degree under "
-                "every objective; the rise\nis steeper for the 4MB cache "
-                "(wider words multiply the bitline swing cost).\n");
-    return 0;
+    return tdc::tdcRunMain({"--figure", "fig2"});
 }

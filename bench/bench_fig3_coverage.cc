@@ -1,48 +1,14 @@
 /**
  * @file
- * Figure 3 — error coverage and storage overhead of three protection
- * schemes on a 256x256-bit data array, verified by fault injection
- * against the real codec implementations:
- *
- *  (a) conventional 4-way interleaved (72,64) SECDED   (12.5% extra)
- *  (b) conventional 4-way interleaved (121,64) OECNED  (89.1% extra)
- *  (c) 2D coding: 4-way interleaved EDC8 + vertical EDC32 (25% extra)
- *
- * The injection grid (footprints x schemes) is one declarative
- * campaign executed over the worker pool (each cell a Monte-Carlo
- * campaign with its own counter-based seed), so the whole figure is
- * bit-identical at any TDC_THREADS setting.
+ * Figure 3: error coverage and storage overhead by fault injection — thin wrapper over the tdc_run
+ * driver ("tdc_run --figure fig3"); table output is byte-identical to
+ * the historical standalone bench.
  */
 
-#include <cstdio>
-
-#include "reliability/figure_campaigns.hh"
-
-using namespace tdc;
-
-namespace
-{
-constexpr int kTrialsPerPoint = 40;
-} // namespace
+#include "driver/tdc_run.hh"
 
 int
 main()
 {
-    std::printf("=== Figure 3: coverage and overhead on a 256x256 data "
-                "array ===\n\n");
-    figure3OverheadCampaign().print();
-
-    std::printf("\n--- Injection campaigns (%d solid clusters per point)"
-                " ---\n\n", kTrialsPerPoint);
-    figure3InjectionCampaign(kTrialsPerPoint).print();
-
-    std::printf(
-        "\nPaper shape: (a) corrects only <=4-bit row bursts; (b) buys "
-        "32-bit bursts at 89%%\nstorage; (c) corrects full 32x32 "
-        "clusters at 25%%. Full-column failures (1x256)\nneed the "
-        "SECDED-horizontal variant (the grey box of Figure 4(b)): with "
-        "an even\nnumber of rows per vertical group the column flip is "
-        "parity-invisible, so the\nEDC-only scheme detects but cannot "
-        "locate it -- SECDED pinpoints and fixes it\nrow by row.\n");
-    return 0;
+    return tdc::tdcRunMain({"--figure", "fig3"});
 }

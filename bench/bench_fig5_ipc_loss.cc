@@ -1,41 +1,14 @@
 /**
  * @file
- * Figure 5 — IPC loss of 2D-protected caches on the fat and lean CMP
- * systems, across the six workloads and the four protection
- * configurations the paper plots: L1 only, L1 with port stealing,
- * L2 only, and L1(+stealing)+L2.
- *
- * Baseline and protected runs are matched-pair (same seeds), the
- * SimFlex-style methodology of Section 5. Each machine's grid is one
- * IPC-loss campaign: a single cmp_batch over the worker pool, reduced
- * to the loss table (plus the per-column average) in grid order.
+ * Figure 5: IPC loss of 2D-protected caches on both CMP machines — thin wrapper over the tdc_run
+ * driver ("tdc_run --figure fig5"); table output is byte-identical to
+ * the historical standalone bench.
  */
 
-#include <cstdio>
-
-#include "cpu/ipc_campaign.hh"
-
-using namespace tdc;
+#include "driver/tdc_run.hh"
 
 int
 main()
 {
-    std::printf("=== Figure 5: performance (IPC) loss in 2D-protected "
-                "caches ===\n\n");
-    runIpcLossCampaign(IpcLossCampaignSpec::figure5(
-                           CmpConfig::fat(), "--- Figure 5(a: fat "
-                                             "baseline) ---"))
-        .print();
-    std::printf("\n");
-    runIpcLossCampaign(IpcLossCampaignSpec::figure5(
-                           CmpConfig::lean(), "--- Figure 5(b: lean "
-                                              "baseline) ---"))
-        .print();
-    std::printf("\n");
-    std::printf(
-        "Paper shape: full protection costs low single digits (paper: "
-        "2.9%% fat / 1.8%% lean\naverage); port stealing removes most "
-        "of the fat CMP's L1 port contention; the\nlean CMP's loss has "
-        "a larger L2 component than the fat CMP's.\n");
-    return 0;
+    return tdc::tdcRunMain({"--figure", "fig5"});
 }

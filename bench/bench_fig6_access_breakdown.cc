@@ -1,87 +1,14 @@
 /**
  * @file
- * Figure 6 — cache access breakdown per 100 processor cycles for the
- * L1 data caches (per core) and the shared L2 (aggregate), on both
- * machines, with full 2D protection enabled so the "extra read for 2D
- * coding" component is visible.
+ * Figure 6: cache access breakdown per 100 processor cycles — thin wrapper over the tdc_run
+ * driver ("tdc_run --figure fig6"); table output is byte-identical to
+ * the historical standalone bench.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "cpu/cmp_simulator.hh"
-
-using namespace tdc;
-
-namespace
-{
-
-constexpr uint64_t kCycles = 150000;
-constexpr uint64_t kSeed = 42;
-
-void
-l1Table(const CmpConfig &m, const char *title)
-{
-    std::printf("--- %s: L1 data cache accesses / 100 cycles (per core)"
-                " ---\n\n", title);
-    Table t({"Workload", "Read:Data", "Write", "Fill/Evict",
-             "Extra read (2D)", "Total", "Extra %"});
-    for (const WorkloadProfile &w : standardWorkloads()) {
-        CmpSimulator sim(m, w, ProtectionConfig::full(true), kSeed);
-        const CmpSimResult r = sim.run(kCycles);
-        const double reads = r.per100(r.l1ReadsData) / m.cores;
-        const double writes = r.per100(r.l1Writes) / m.cores;
-        const double fills = r.per100(r.l1FillEvict) / m.cores;
-        const double extra = r.per100(r.l1ExtraReads) / m.cores;
-        const double total = reads + writes + fills + extra;
-        t.addRow({w.name, Table::num(reads, 1), Table::num(writes, 1),
-                  Table::num(fills, 1), Table::num(extra, 1),
-                  Table::num(total, 1), Table::pct(extra / total)});
-    }
-    t.print();
-    std::printf("\n");
-}
-
-void
-l2Table(const CmpConfig &m, const char *title)
-{
-    std::printf("--- %s: L2 cache accesses / 100 cycles (all cores) "
-                "---\n\n", title);
-    Table t({"Workload", "Read:Inst", "Read:Data", "Write", "Fill/Evict",
-             "Extra read (2D)", "Total"});
-    for (const WorkloadProfile &w : standardWorkloads()) {
-        CmpSimulator sim(m, w, ProtectionConfig::full(true), kSeed);
-        const CmpSimResult r = sim.run(kCycles);
-        const double ri = r.per100(r.l2ReadsInst);
-        const double rd = r.per100(r.l2ReadsData);
-        const double wr = r.per100(r.l2Writes);
-        const double fe = r.per100(r.l2FillEvict);
-        const double ex = r.per100(r.l2ExtraReads);
-        t.addRow({w.name, Table::num(ri, 1), Table::num(rd, 1),
-                  Table::num(wr, 1), Table::num(fe, 1), Table::num(ex, 1),
-                  Table::num(ri + rd + wr + fe + ex, 1)});
-    }
-    t.print();
-    std::printf("\n");
-}
-
-} // namespace
+#include "driver/tdc_run.hh"
 
 int
 main()
 {
-    std::printf("=== Figure 6: cache access breakdown per 100 CPU cycles "
-                "===\n\n");
-    const CmpConfig fat = CmpConfig::fat();
-    const CmpConfig lean = CmpConfig::lean();
-    l1Table(fat, "Figure 6(a) fat baseline");
-    l1Table(lean, "Figure 6(b) lean baseline");
-    l2Table(fat, "Figure 6(c) fat baseline");
-    l2Table(lean, "Figure 6(d) lean baseline");
-    std::printf(
-        "Paper shape: writes (the source of read-before-write traffic) "
-        "are a small\nfraction of accesses; 2D coding adds roughly 20%% "
-        "extra reads; the fat CMP has\nhigher per-core L1 bandwidth, the "
-        "lean CMP higher aggregate L2 bandwidth.\n");
-    return 0;
+    return tdc::tdcRunMain({"--figure", "fig6"});
 }

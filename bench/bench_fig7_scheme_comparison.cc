@@ -1,61 +1,14 @@
 /**
  * @file
- * Figure 7 — code area, coding latency, and dynamic power of 2D
- * coding vs. conventional schemes with the same 32x32-bit coverage
- * target, normalized to SECDED with 2-way physical interleaving.
- *
- * (a) 64kB L1 data cache: 2D(EDC8+Intv4, EDC32), DECTED+Intv16,
- *     QECPED+Intv8, OECNED+Intv4, and EDC8+Intv4 with write-through
- *     duplication.
- * (b) 4MB L2: 2D(EDC16+Intv2, EDC32), DECTED+Intv16, QECPED+Intv8,
- *     OECNED+Intv4.
- *
- * Each panel is a declarative grid executed by the unified campaign
- * driver (reliability/figure_campaigns.hh); the golden-pin tests run
- * the very same builders.
+ * Figure 7: area/latency/power of schemes with 32x32 coverage — thin wrapper over the tdc_run
+ * driver ("tdc_run --figure fig7"); table output is byte-identical to
+ * the historical standalone bench.
  */
 
-#include <cstdio>
-
-#include "reliability/figure_campaigns.hh"
-
-using namespace tdc;
+#include "driver/tdc_run.hh"
 
 int
 main()
 {
-    std::printf("=== Figure 7: overhead of coding schemes for 32x32-bit "
-                "coverage ===\n\n");
-
-    figure7Campaign("--- Figure 7(a): 64kB L1 data cache (normalized to "
-                    "SECDED+Intv2 = 100%) ---",
-                    CacheGeometry::l1(),
-                    {
-                        SchemeSpec::twoDim(CodeKind::kEdc8, 4),
-                        SchemeSpec::conventional(CodeKind::kDecTed, 16),
-                        SchemeSpec::conventional(CodeKind::kQecPed, 8),
-                        SchemeSpec::conventional(CodeKind::kOecNed, 4),
-                        SchemeSpec::writeThrough(CodeKind::kEdc8, 4),
-                    })
-        .print();
-    std::printf("\n");
-
-    figure7Campaign("--- Figure 7(b): 4MB L2 cache (normalized to "
-                    "SECDED+Intv2 = 100%) ---",
-                    CacheGeometry::l2(),
-                    {
-                        SchemeSpec::twoDim(CodeKind::kEdc16, 2),
-                        SchemeSpec::conventional(CodeKind::kDecTed, 16),
-                        SchemeSpec::conventional(CodeKind::kQecPed, 8),
-                        SchemeSpec::conventional(CodeKind::kOecNed, 4),
-                    })
-        .print();
-    std::printf("\n");
-
-    std::printf(
-        "Paper shape: 2D coding is the cheapest on every axis; "
-        "conventional multi-bit ECC\npays 300-500%% dynamic power "
-        "(coding logic + deep interleaving); write-through\nsaves array "
-        "area but burns power duplicating stores into the L2.\n");
-    return 0;
+    return tdc::tdcRunMain({"--figure", "fig7"});
 }

@@ -1,44 +1,14 @@
 /**
  * @file
- * Figure 8 — yield and reliability when ECC corrects hard errors.
- *
- * (a) 16MB L2 cache yield vs. number of failing cells, for spare rows
- *     only (128), ECC only, ECC+16 spares, ECC+32 spares.
- * (b) Probability that all soft errors over a multi-year horizon stay
- *     correctable, for a system of ten 16MB caches at 1000 FIT/Mb,
- *     sweeping the hard error rate, with and without 2D coding.
- *
- * All three panels (including the Monte-Carlo cross-check, which now
- * runs the threaded monteCarloParallel with counter-based seeding) are
- * declarative grids executed by the unified campaign driver.
+ * Figure 8: yield and soft-error reliability with ECC hard-error correction — thin wrapper over the tdc_run
+ * driver ("tdc_run --figure fig8"); table output is byte-identical to
+ * the historical standalone bench.
  */
 
-#include <cstdio>
-
-#include "reliability/figure_campaigns.hh"
-
-using namespace tdc;
+#include "driver/tdc_run.hh"
 
 int
 main()
 {
-    std::printf("=== Figure 8(a): 16MB L2 cache yield vs failing cells "
-                "===\n\n");
-    figure8YieldCampaign().print();
-    std::printf("\nPaper shape: spare-only collapses first; ECC-only "
-                "degrades with multi-bit words;\nECC + a few spares "
-                "stays near 100%% across the sweep.\n");
-
-    std::printf("\n=== Figure 8(a) cross-check: Monte Carlo vs analytic "
-                "(small array) ===\n\n");
-    figure8YieldMonteCarloCampaign().print();
-
-    std::printf("\n=== Figure 8(b): P(all soft errors correctable), "
-                "10 x 16MB caches, 1000 FIT/Mb ===\n\n");
-    figure8SoftErrorCampaign().print();
-    std::printf(
-        "\nPaper shape: without 2D coding the success probability decays "
-        "with operating\ntime, faster at higher hard-error rates; with 2D "
-        "coding runtime immunity holds.\n");
-    return 0;
+    return tdc::tdcRunMain({"--figure", "fig8"});
 }

@@ -1,38 +1,14 @@
 /**
  * @file
- * Related-work comparison (paper Section 6): the classic HV-parity /
- * product code (Tanner '84 style) vs. the paper's 2D coding, on the
- * same 256x256 array, by fault injection against the real
- * implementations. Shows why "two parity dimensions" alone is not the
- * contribution — the interleaving of both dimensions and the
- * decoupling of detection from correction are.
- *
- * The footprint x scheme grid is one declarative campaign over the
- * worker pool (counter-based per-cell seeds), shared with the Figure 3
- * injection machinery.
+ * Related-work comparison: HV product code vs 2D coding — thin wrapper over the tdc_run
+ * driver ("tdc_run --figure related-work"); table output is byte-identical to
+ * the historical standalone bench.
  */
 
-#include <cstdio>
-
-#include "reliability/figure_campaigns.hh"
-
-using namespace tdc;
+#include "driver/tdc_run.hh"
 
 int
 main()
 {
-    std::printf("=== Related work: HV product code vs 2D coding "
-                "(256x256 array) ===\n\n");
-    std::printf("Storage overhead: product code %.1f%%, 2D coding "
-                "25.0%%\n\n", 100.0 * (512.0 / 65536.0));
-
-    relatedWorkCampaign().print();
-
-    std::printf(
-        "\nThe product code is cheaper but collapses on any 2x2 block "
-        "(silently!) and on\neven per-line patterns; the paper's scheme "
-        "interleaves both dimensions so solid\nclusters within 32x32 "
-        "never cancel, and detection never requires reading the\n"
-        "vertical code.\n");
-    return 0;
+    return tdc::tdcRunMain({"--figure", "related-work"});
 }

@@ -1,60 +1,14 @@
 /**
  * @file
- * Table 1 — simulated systems and workload parameters.
- *
- * Prints the two machine configurations and the workload profiles the
- * simulation substitutes for the paper's full-system workloads.
+ * Table 1: simulated systems and workload parameters — thin wrapper over the tdc_run
+ * driver ("tdc_run --figure table1"); table output is byte-identical to
+ * the historical standalone bench.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "cpu/cmp_config.hh"
-#include "workload/workload_profile.hh"
-
-using namespace tdc;
+#include "driver/tdc_run.hh"
 
 int
 main()
 {
-    std::printf("=== Table 1: simulated systems ===\n\n");
-
-    Table machines({"Parameter", "Fat CMP", "Lean CMP"});
-    const CmpConfig fat = CmpConfig::fat();
-    const CmpConfig lean = CmpConfig::lean();
-    machines.addRow({"Cores", std::to_string(fat.cores),
-                     std::to_string(lean.cores)});
-    machines.addRow({"Core type", "4-wide out-of-order",
-                     "2-wide in-order, 4 threads"});
-    machines.addRow({"In-flight window", std::to_string(fat.robSize),
-                     std::to_string(lean.robSize)});
-    machines.addRow({"Store queue", std::to_string(fat.storeQueue),
-                     std::to_string(lean.storeQueue)});
-    machines.addRow({"L1 D-cache", "64kB 2-way 64B, 2-cycle, 2-port WB",
-                     "64kB 2-way 64B, 2-cycle, 1-port WB"});
-    machines.addRow({"L2 cache",
-                     "16MB 8-way, " + std::to_string(fat.l2HitLatency) +
-                         "-cycle hit, " + std::to_string(fat.l2Banks) +
-                         " banks",
-                     "4MB 16-way, " + std::to_string(lean.l2HitLatency) +
-                         "-cycle hit, " + std::to_string(lean.l2Banks) +
-                         " banks"});
-    machines.addRow({"Memory latency (cycles)",
-                     std::to_string(fat.memLatency),
-                     std::to_string(lean.memLatency)});
-    machines.print();
-
-    std::printf("\n=== Table 1: workload profiles (substituted synthetic"
-                " generators; see DESIGN.md) ===\n\n");
-    Table wl({"Workload", "Class", "load%", "store%", "L1I miss%",
-              "L1D miss%", "L2 miss%", "dirty evict%"});
-    for (const WorkloadProfile &w : standardWorkloads()) {
-        wl.addRow({w.name, w.scientific ? "scientific" : "commercial",
-                   Table::pct(w.loadFrac), Table::pct(w.storeFrac),
-                   Table::pct(w.l1iMissRate), Table::pct(w.l1dMissRate),
-                   Table::pct(w.l2MissRate),
-                   Table::pct(w.dirtyEvictFrac)});
-    }
-    wl.print();
-    return 0;
+    return tdc::tdcRunMain({"--figure", "table1"});
 }

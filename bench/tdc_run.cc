@@ -1,0 +1,14 @@
+/**
+ * @file
+ * The tdc_run binary: every figure of the study and every custom
+ * scheme x fault x workload scenario, from one CLI (driver/tdc_run.hh).
+ */
+
+#include "driver/tdc_run.hh"
+
+int
+main(int argc, char **argv)
+{
+    return tdc::tdcRunMain(
+        std::vector<std::string>(argv + 1, argv + argc));
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Scheme explorer: the ProtectionScheme registry end to end. Parses
+ * schemes from spec strings (exactly what `tdc_run --scheme` does),
+ * prints their canonical spec / name / storage cost, then races them
+ * through the same Monte-Carlo fault grid. Pass your own specs on the
+ * command line to compare any protection points the grammar can
+ * express — no C++ required:
+ *
+ *   ./build/examples/scheme_explorer 2d:edc8/i8+vp64 conv:qecped/i8
+ *
+ * Run: ./build/examples/scheme_explorer [spec ...]
+ */
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "scheme/figure_campaigns.hh"
+#include "scheme/scheme.hh"
+
+using namespace tdc;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> specs(argv + 1, argv + argc);
+    if (specs.empty())
+        specs = {"conv:secded/i4", "conv:oecned/i4", "2d:edc8/i4+vp32",
+                 "prod:256x256"};
+
+    std::printf("=== Scheme explorer: %zu protection schemes ===\n\n",
+                specs.size());
+
+    try {
+        Table info({"Spec", "Name", "Storage overhead"});
+        for (const std::string &spec : specs) {
+            const SchemePtr s = parseScheme(spec);
+            info.addRow({s->spec(), s->name(),
+                         Table::pct(s->storageOverhead())});
+        }
+        info.print();
+
+        std::printf("\nInjection race (same seeds for every scheme):\n\n");
+        customInjectionCampaign(specs,
+                                {"single", "8x8", "32x32", "row:32",
+                                 "col:32"},
+                                25, 777)
+            .print();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "scheme_explorer: %s\n", e.what());
+        std::fprintf(stderr,
+                     "run `tdc_run --list-schemes` for the grammar\n");
+        return 2;
+    }
+
+    std::printf("\nEvery row above ran through the same registry the "
+                "figure campaigns and the\ntdc_run driver use; add a "
+                "spec here or on the CLI and it becomes a new\n"
+                "comparison point.\n");
+    return 0;
+}

@@ -1,9 +1,66 @@
 #include "array/fault.hh"
 
 #include <cassert>
+#include <cstdlib>
+#include <stdexcept>
 
 namespace tdc
 {
+
+namespace
+{
+
+/** Parse a positive decimal footprint dimension out of @p token. */
+size_t
+parseDim(const std::string &token, const std::string &digits)
+{
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        throw std::invalid_argument("bad fault footprint in \"" + token +
+                                    "\"");
+    const unsigned long long v = std::strtoull(digits.c_str(), nullptr, 10);
+    if (v == 0 || v > 65536)
+        throw std::invalid_argument("fault footprint out of range in \"" +
+                                    token + "\"");
+    return size_t(v);
+}
+
+} // namespace
+
+FaultModel
+parseFaultModel(const std::string &spec)
+{
+    if (spec == "single")
+        return FaultModel::singleBit();
+    if (spec == "fullrow" || spec == "full-row")
+        return FaultModel::fullRow();
+    if (spec == "fullcol" || spec == "full-col")
+        return FaultModel::fullColumn();
+    if (spec.rfind("row:", 0) == 0)
+        return FaultModel::rowBurst(parseDim(spec, spec.substr(4)));
+    if (spec.rfind("col:", 0) == 0)
+        return FaultModel::columnBurst(parseDim(spec, spec.substr(4)));
+
+    // WxH[@D] cluster.
+    std::string body = spec;
+    double density = 1.0;
+    if (const size_t at = body.find('@'); at != std::string::npos) {
+        const std::string dens = body.substr(at + 1);
+        char *end = nullptr;
+        density = std::strtod(dens.c_str(), &end);
+        if (dens.empty() || end != dens.c_str() + dens.size() ||
+            density <= 0.0 || density > 1.0)
+            throw std::invalid_argument("bad cluster density in \"" + spec +
+                                        "\"");
+        body = body.substr(0, at);
+    }
+    const size_t x = body.find('x');
+    if (x == std::string::npos)
+        throw std::invalid_argument("unknown fault model \"" + spec + "\"");
+    const size_t w = parseDim(spec, body.substr(0, x));
+    const size_t h = parseDim(spec, body.substr(x + 1));
+    return FaultModel::cluster(w, h, density);
+}
 
 std::string
 FaultEvent::describe() const

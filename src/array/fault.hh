@@ -103,6 +103,23 @@ struct FaultModel
 };
 
 /**
+ * Parse a fault-model spec string (the --fault axis of the tdc_run
+ * driver):
+ *
+ *   single            one-cell upset (uniform random position)
+ *   row:W             W-bit horizontal burst
+ *   col:H             H-bit vertical burst
+ *   WxH               solid WxH cluster  (e.g. "32x32")
+ *   WxH@D             WxH cluster, per-cell flip probability D in (0,1]
+ *   fullrow           an entire physical row
+ *   fullcol           an entire physical column
+ *
+ * Malformed specs or out-of-range footprints throw
+ * std::invalid_argument quoting the offending token.
+ */
+FaultModel parseFaultModel(const std::string &spec);
+
+/**
  * Injects fault events into a MemoryArray. Transient events flip the
  * stored state; stuck-at events install overlay faults with the
  * complement of the current stored value (so they are observable).

@@ -37,6 +37,15 @@ class Table
     /** Render and write to stdout. */
     void print() const;
 
+    /** Header cells (for structured re-rendering, e.g. CSV/JSON). */
+    const std::vector<std::string> &headers() const { return header; }
+
+    /** Body rows as raw cells. */
+    const std::vector<std::vector<std::string>> &data() const
+    {
+        return rows;
+    }
+
   private:
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> rows;

@@ -1,5 +1,7 @@
 #include "cpu/cmp_config.hh"
 
+#include <stdexcept>
+
 namespace tdc
 {
 
@@ -70,6 +72,42 @@ ProtectionConfig::label() const
         out += "L2";
     }
     return out;
+}
+
+ProtectionConfig
+ProtectionConfig::parse(const std::string &spec)
+{
+    if (spec == "none")
+        return none();
+    if (spec == "wt")
+        return writeThroughL1();
+
+    ProtectionConfig cfg;
+    std::string token;
+    const auto consume = [&]() {
+        if (token == "l1")
+            cfg.l1TwoDim = true;
+        else if (token == "steal")
+            cfg.l1PortStealing = true;
+        else if (token == "l2")
+            cfg.l2TwoDim = true;
+        else
+            throw std::invalid_argument("protection spec \"" + spec +
+                                        "\": unknown token \"" + token +
+                                        "\"");
+        token.clear();
+    };
+    for (char c : spec) {
+        if (c == '+')
+            consume();
+        else
+            token += c;
+    }
+    consume();
+    if (cfg.l1PortStealing && !cfg.l1TwoDim)
+        throw std::invalid_argument("protection spec \"" + spec +
+                                    "\": \"steal\" requires \"l1\"");
+    return cfg;
 }
 
 } // namespace tdc

@@ -116,6 +116,14 @@ struct ProtectionConfig
     }
 
     std::string label() const;
+
+    /**
+     * Parse a protection spec: "none" | "wt" (write-through L1 over a
+     * 2D L2) | "+"-joined tokens from {l1, steal, l2}, e.g. "l1+steal",
+     * "l1+steal+l2". Throws std::invalid_argument quoting an unknown
+     * token ("steal" without "l1" is also rejected).
+     */
+    static ProtectionConfig parse(const std::string &spec);
 };
 
 } // namespace tdc

@@ -1,6 +1,7 @@
 #include "cpu/ipc_campaign.hh"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace tdc
 {
@@ -9,17 +10,42 @@ IpcLossCampaignSpec
 IpcLossCampaignSpec::figure5(const CmpConfig &machine,
                              const std::string &title)
 {
+    // Figure 5's protection axis as registry specs, with the paper's
+    // column wording kept over the default label() headers.
+    IpcLossCampaignSpec spec =
+        fromProtectionSpecs(machine, title,
+                            {"l1", "l1+steal", "l2", "l1+steal+l2"});
+    spec.columnHeaders = {"L1 D-cache", "L1 + port stealing", "L2 cache",
+                          "L1(steal) + L2"};
+    return spec;
+}
+
+IpcLossCampaignSpec
+IpcLossCampaignSpec::fromProtectionSpecs(
+    const CmpConfig &machine, const std::string &title,
+    const std::vector<std::string> &protection_specs,
+    const std::vector<std::string> &workload_names)
+{
     IpcLossCampaignSpec spec;
     spec.machine = machine;
     spec.title = title;
-    spec.protections = {
-        ProtectionConfig::l1Only(false),
-        ProtectionConfig::l1Only(true),
-        ProtectionConfig::l2Only(),
-        ProtectionConfig::full(true),
-    };
-    spec.columnHeaders = {"L1 D-cache", "L1 + port stealing", "L2 cache",
-                          "L1(steal) + L2"};
+    for (const std::string &p : protection_specs) {
+        spec.protections.push_back(ProtectionConfig::parse(p));
+        spec.columnHeaders.push_back(spec.protections.back().label());
+    }
+    for (const std::string &name : workload_names) {
+        bool found = false;
+        for (const WorkloadProfile &w : standardWorkloads()) {
+            if (w.name == name) {
+                spec.workloads.push_back(w);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            throw std::invalid_argument("unknown workload \"" + name +
+                                        "\"");
+    }
     return spec;
 }
 

@@ -42,6 +42,17 @@ struct IpcLossCampaignSpec
     /** The four protection columns of Figure 5. */
     static IpcLossCampaignSpec figure5(const CmpConfig &machine,
                                        const std::string &title);
+
+    /**
+     * A custom panel from protection spec strings (see
+     * ProtectionConfig::parse); column headers default to each
+     * config's label(). Workload names filter standardWorkloads()
+     * (empty = all); unknown names throw std::invalid_argument.
+     */
+    static IpcLossCampaignSpec fromProtectionSpecs(
+        const CmpConfig &machine, const std::string &title,
+        const std::vector<std::string> &protection_specs,
+        const std::vector<std::string> &workload_names = {});
 };
 
 /**

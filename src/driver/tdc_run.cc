@@ -1,0 +1,463 @@
+#include "driver/tdc_run.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <stdexcept>
+
+#include "common/parallel.hh"
+#include "cpu/ipc_campaign.hh"
+#include "scheme/figure_campaigns.hh"
+#include "scheme/scheme.hh"
+
+namespace tdc
+{
+
+// --- RunContext -----------------------------------------------------
+
+void
+RunContext::prose(const std::string &text)
+{
+    if (format_ == RunFormat::kTable)
+        text_ += text;
+}
+
+void
+RunContext::prosef(const char *fmt, ...)
+{
+    if (format_ != RunFormat::kTable)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    char stack_buf[1024];
+    va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt,
+                                      args);
+    if (needed >= 0 && size_t(needed) < sizeof(stack_buf)) {
+        text_ += stack_buf;
+    } else if (needed >= 0) {
+        std::vector<char> big(size_t(needed) + 1);
+        std::vsnprintf(big.data(), big.size(), fmt, copy);
+        text_ += big.data();
+    }
+    va_end(copy);
+    va_end(args);
+}
+
+void
+RunContext::table(const CampaignResult &result)
+{
+    if (format_ == RunFormat::kTable)
+        text_ += result.render();
+    else
+        tables_.push_back({result.title, result.headers, result.rows});
+}
+
+void
+RunContext::table(const Table &t, const std::string &title)
+{
+    if (format_ == RunFormat::kTable)
+        text_ += t.render();
+    else
+        tables_.push_back({title, t.headers(), t.data()});
+}
+
+namespace
+{
+
+std::string
+csvCell(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+RunContext::str() const
+{
+    if (format_ == RunFormat::kTable)
+        return text_;
+
+    std::string out;
+    if (format_ == RunFormat::kCsv) {
+        for (const Emitted &t : tables_) {
+            if (!out.empty())
+                out += "\n";
+            if (!t.title.empty())
+                out += "# " + t.title + "\n";
+            for (size_t c = 0; c < t.headers.size(); ++c)
+                out += (c ? "," : "") + csvCell(t.headers[c]);
+            out += "\n";
+            for (const auto &row : t.rows) {
+                for (size_t c = 0; c < row.size(); ++c)
+                    out += (c ? "," : "") + csvCell(row[c]);
+                out += "\n";
+            }
+        }
+        return out;
+    }
+
+    out = "{\n  \"tables\": [\n";
+    for (size_t i = 0; i < tables_.size(); ++i) {
+        const Emitted &t = tables_[i];
+        out += "    {\n      \"title\": " + jsonString(t.title) +
+               ",\n      \"headers\": [";
+        for (size_t c = 0; c < t.headers.size(); ++c)
+            out += (c ? ", " : "") + jsonString(t.headers[c]);
+        out += "],\n      \"rows\": [\n";
+        for (size_t r = 0; r < t.rows.size(); ++r) {
+            out += "        [";
+            for (size_t c = 0; c < t.rows[r].size(); ++c)
+                out += (c ? ", " : "") + jsonString(t.rows[r][c]);
+            out += r + 1 < t.rows.size() ? "],\n" : "]\n";
+        }
+        out += i + 1 < tables_.size() ? "      ]\n    },\n"
+                                      : "      ]\n    }\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+// --- Figure registry ------------------------------------------------
+
+namespace
+{
+
+std::vector<FigureDef> &
+figureRegistry()
+{
+    static std::vector<FigureDef> figures = detail::builtinFigures();
+    return figures;
+}
+
+} // namespace
+
+void
+registerFigure(FigureDef figure)
+{
+    auto &figures = figureRegistry();
+    for (FigureDef &existing : figures) {
+        if (existing.key == figure.key) {
+            existing = std::move(figure);
+            return;
+        }
+    }
+    figures.push_back(std::move(figure));
+}
+
+std::vector<FigureDef>
+figureList()
+{
+    return figureRegistry();
+}
+
+// --- CLI ------------------------------------------------------------
+
+namespace
+{
+
+const char *const kUsage =
+    "tdc_run - unified driver for every figure and protection scenario\n"
+    "\n"
+    "usage:\n"
+    "  tdc_run --figure <key> [...]          run registered figure(s)\n"
+    "  tdc_run --scheme <spec> [...] --fault <spec> [...]\n"
+    "          [--events N] [--seed N]       custom injection grid\n"
+    "  tdc_run --machine fat|lean --protection <spec> [...]\n"
+    "          [--workload <name> ...] [--cycles N] [--seed N]\n"
+    "                                        custom IPC-loss grid\n"
+    "  tdc_run --list-figures | --list-schemes | --list-faults\n"
+    "\n"
+    "options:\n"
+    "  --format table|csv|json   output format (default: table)\n"
+    "  --threads N               worker-pool size (default: TDC_THREADS)\n"
+    "  --events N                Monte-Carlo events per cell, accepts\n"
+    "                            scientific notation (default: 100)\n"
+    "  --cycles N                simulated cycles per IPC run\n"
+    "                            (default: 150000)\n"
+    "  --seed N                  base campaign seed (default: 12345)\n"
+    "\n"
+    "scheme specs (see --list-schemes):   conv:secded/i4,\n"
+    "  2d:edc8/i4+vp32, wt:edc8/i4, prod:256x256, ...\n"
+    "fault specs (see --list-faults):     single, 32x32, 16x16@0.5,\n"
+    "  row:32, col:8, fullrow, fullcol\n";
+
+struct CliOptions
+{
+    RunFormat format = RunFormat::kTable;
+    long threads = -1;
+    std::vector<std::string> figures;
+    std::vector<std::string> schemes;
+    std::vector<std::string> faults;
+    std::vector<std::string> protections;
+    std::vector<std::string> workloads;
+    std::string machine = "fat";
+    double events = 100.0;
+    double cycles = 150000.0;
+    uint64_t seed = 12345;
+    bool listFigures = false;
+    bool listSchemes = false;
+    bool listFaults = false;
+    bool help = false;
+};
+
+[[noreturn]] void
+usageError(const std::string &what)
+{
+    throw std::invalid_argument(what);
+}
+
+/** Parse a positive count that may use scientific notation ("1e5"). */
+double
+parseCount(const std::string &flag, const std::string &value, double max)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size() || v < 1.0 ||
+        v > max)
+        usageError(flag + " expects a count in [1, " +
+                   std::to_string(size_t(max)) + "], got \"" + value +
+                   "\"");
+    return v;
+}
+
+CliOptions
+parseCli(const std::vector<std::string> &args)
+{
+    CliOptions opt;
+    const auto value = [&](size_t &i) -> const std::string & {
+        if (i + 1 >= args.size())
+            usageError("flag " + args[i] + " expects a value");
+        return args[++i];
+    };
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--figure") {
+            opt.figures.push_back(value(i));
+        } else if (arg == "--scheme") {
+            opt.schemes.push_back(value(i));
+        } else if (arg == "--fault") {
+            opt.faults.push_back(value(i));
+        } else if (arg == "--protection") {
+            opt.protections.push_back(value(i));
+        } else if (arg == "--workload") {
+            opt.workloads.push_back(value(i));
+        } else if (arg == "--machine") {
+            opt.machine = value(i);
+            if (opt.machine != "fat" && opt.machine != "lean")
+                usageError("--machine expects \"fat\" or \"lean\", got \"" +
+                           opt.machine + "\"");
+        } else if (arg == "--format") {
+            const std::string &fmt = value(i);
+            if (fmt == "table")
+                opt.format = RunFormat::kTable;
+            else if (fmt == "csv")
+                opt.format = RunFormat::kCsv;
+            else if (fmt == "json")
+                opt.format = RunFormat::kJson;
+            else
+                usageError("--format expects table|csv|json, got \"" +
+                           fmt + "\"");
+        } else if (arg == "--threads") {
+            opt.threads = long(parseCount(arg, value(i), 256));
+        } else if (arg == "--events") {
+            opt.events = parseCount(arg, value(i), 1e8);
+        } else if (arg == "--cycles") {
+            opt.cycles = parseCount(arg, value(i), 1e9);
+        } else if (arg == "--seed") {
+            // Full-precision uint64 (0 is a legitimate seed); the
+            // scientific-notation count parser would round through
+            // double.
+            const std::string &v = value(i);
+            char *end = nullptr;
+            opt.seed = std::strtoull(v.c_str(), &end, 10);
+            if (v.empty() || end != v.c_str() + v.size())
+                usageError("--seed expects an unsigned integer, got \"" +
+                           v + "\"");
+        } else if (arg == "--list-figures") {
+            opt.listFigures = true;
+        } else if (arg == "--list-schemes") {
+            opt.listSchemes = true;
+        } else if (arg == "--list-faults") {
+            opt.listFaults = true;
+        } else if (arg == "--help" || arg == "-h") {
+            opt.help = true;
+        } else {
+            usageError("unknown flag \"" + arg + "\" (see --help)");
+        }
+    }
+    return opt;
+}
+
+std::string
+listSchemesText()
+{
+    std::string out = "Registered scheme families:\n";
+    for (const SchemeFamily &family : schemeFamilies()) {
+        out += "\n  " + family.grammar + "\n      " + family.description +
+               "\n      examples:";
+        for (const std::string &example : family.examples)
+            out += " " + example;
+        out += "\n";
+    }
+    out += "\ncodes: ";
+    for (size_t i = 0; i < std::size(kAllCodeKinds); ++i)
+        out += (i ? ", " : "") + codeKindName(kAllCodeKinds[i]);
+    out += "\n";
+    return out;
+}
+
+std::string
+listFaultsText()
+{
+    return "Fault-model specs (--fault):\n"
+           "  single          one-cell upset at a random position\n"
+           "  <W>x<H>         solid WxH cluster, e.g. 32x32\n"
+           "  <W>x<H>@<D>     cluster with per-cell flip probability D\n"
+           "  row:<W>         W-bit burst along one row\n"
+           "  col:<H>         H-bit burst along one column\n"
+           "  fullrow         an entire physical row fails\n"
+           "  fullcol         an entire physical column fails\n";
+}
+
+std::string
+listFiguresText()
+{
+    std::string out = "Registered figures (--figure):\n";
+    for (const FigureDef &figure : figureList())
+        out += "  " + figure.key +
+               std::string(figure.key.size() < 14
+                               ? 14 - figure.key.size()
+                               : 1,
+                           ' ') +
+               figure.description + "\n";
+    return out;
+}
+
+} // namespace
+
+int
+tdcRun(const std::vector<std::string> &args, std::string &out,
+       std::string &err)
+{
+    CliOptions opt;
+    try {
+        opt = parseCli(args);
+    } catch (const std::invalid_argument &e) {
+        err += std::string("tdc_run: ") + e.what() + "\n";
+        return 2;
+    }
+
+    if (opt.help) {
+        out += kUsage;
+        return 0;
+    }
+    if (opt.listFigures || opt.listSchemes || opt.listFaults) {
+        if (opt.listFigures)
+            out += listFiguresText();
+        if (opt.listSchemes)
+            out += listSchemesText();
+        if (opt.listFaults)
+            out += listFaultsText();
+        return 0;
+    }
+
+    if (opt.figures.empty() && opt.schemes.empty() &&
+        opt.protections.empty()) {
+        err += kUsage;
+        return 2;
+    }
+
+    if (opt.threads > 0)
+        setParallelThreads(unsigned(opt.threads));
+
+    RunContext ctx(opt.format);
+    try {
+        for (const std::string &key : opt.figures) {
+            bool found = false;
+            for (const FigureDef &figure : figureList()) {
+                if (figure.key == key) {
+                    figure.run(ctx);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                usageError("unknown figure \"" + key +
+                           "\" (see --list-figures)");
+        }
+
+        if (!opt.schemes.empty()) {
+            std::vector<std::string> faults = opt.faults;
+            if (faults.empty())
+                faults.push_back("32x32");
+            ctx.table(customInjectionCampaign(opt.schemes, faults,
+                                              int(opt.events), opt.seed));
+        } else if (!opt.faults.empty()) {
+            usageError("--fault requires at least one --scheme");
+        }
+
+        if (!opt.protections.empty()) {
+            const CmpConfig machine = opt.machine == "lean"
+                                          ? CmpConfig::lean()
+                                          : CmpConfig::fat();
+            IpcLossCampaignSpec spec =
+                IpcLossCampaignSpec::fromProtectionSpecs(
+                    machine, "IPC loss: " + machine.name + " CMP",
+                    opt.protections, opt.workloads);
+            spec.cycles = uint64_t(opt.cycles);
+            spec.seed = opt.seed;
+            ctx.table(runIpcLossCampaign(spec));
+        } else if (!opt.workloads.empty()) {
+            usageError("--workload requires at least one --protection");
+        }
+    } catch (const std::invalid_argument &e) {
+        err += std::string("tdc_run: ") + e.what() + "\n";
+        return 2;
+    }
+
+    out += ctx.str();
+    return 0;
+}
+
+int
+tdcRunMain(const std::vector<std::string> &args)
+{
+    std::string out, err;
+    const int code = tdcRun(args, out, err);
+    if (!out.empty())
+        std::fputs(out.c_str(), stdout);
+    if (!err.empty())
+        std::fputs(err.c_str(), stderr);
+    return code;
+}
+
+} // namespace tdc

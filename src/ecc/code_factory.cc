@@ -1,6 +1,9 @@
 #include "ecc/code_factory.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <cctype>
+#include <stdexcept>
 
 #include "ecc/bch.hh"
 #include "ecc/hsiao.hh"
@@ -25,6 +28,22 @@ codeKindName(CodeKind kind)
     }
     assert(false);
     return {};
+}
+
+CodeKind
+parseCodeKind(const std::string &name)
+{
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    for (CodeKind kind : kAllCodeKinds) {
+        std::string label = codeKindName(kind);
+        std::transform(label.begin(), label.end(), label.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        if (lower == label)
+            return kind;
+    }
+    throw std::invalid_argument("unknown code \"" + name + "\"");
 }
 
 CodePtr

@@ -37,6 +37,20 @@ enum class CodeKind
 /** Short display label ("EDC8", "SECDED", ...). */
 std::string codeKindName(CodeKind kind);
 
+/** All kinds, in declaration order (the registry/spec-parser axis). */
+inline constexpr CodeKind kAllCodeKinds[] = {
+    CodeKind::kParity, CodeKind::kEdc8,   CodeKind::kEdc16,
+    CodeKind::kEdc32,  CodeKind::kSecDed, CodeKind::kDecTed,
+    CodeKind::kQecPed, CodeKind::kOecNed,
+};
+
+/**
+ * Inverse of codeKindName, case-insensitive ("secded", "EDC8"...).
+ * Throws std::invalid_argument quoting @p name if it matches no kind,
+ * so spec-string parsers never default-construct a wrong code.
+ */
+CodeKind parseCodeKind(const std::string &name);
+
 /** Build the code @p kind over a @p data_bits wide word. */
 CodePtr makeCode(CodeKind kind, size_t data_bits);
 

@@ -3,12 +3,7 @@
 #include <cassert>
 #include <cstdio>
 
-#include "array/product_code_array.hh"
-#include "array/protected_array.hh"
 #include "common/parallel.hh"
-#include "common/rng.hh"
-#include "ecc/code_factory.hh"
-#include "reliability/recovery_sweep.hh"
 
 namespace tdc
 {
@@ -80,167 +75,5 @@ runCampaignGrid(const CampaignGrid &grid)
     return result;
 }
 
-InjectionScheme
-InjectionScheme::conventional(CodeKind code, size_t degree, size_t rows,
-                              size_t word_bits)
-{
-    InjectionScheme s;
-    s.kind = Kind::kConventional;
-    s.code = code;
-    s.degree = degree;
-    s.rows = rows;
-    s.wordBits = word_bits;
-    return s;
-}
-
-InjectionScheme
-InjectionScheme::twoDim(const TwoDimConfig &config)
-{
-    InjectionScheme s;
-    s.kind = Kind::kTwoDim;
-    s.config = config;
-    return s;
-}
-
-InjectionScheme
-InjectionScheme::productCode(size_t rows, size_t cols)
-{
-    InjectionScheme s;
-    s.kind = Kind::kProductCode;
-    s.rows = rows;
-    s.cols = cols;
-    return s;
-}
-
-std::string
-InjectionOutcome::verdict() const
-{
-    if (silent == trials && trials > 0)
-        return "SILENT corruption";
-    if (silent > 0)
-        return "NOT covered";
-    if (corrected == trials)
-        return "corrected";
-    if (corrected > 0)
-        return "partially corrected";
-    return "detected only";
-}
-
-namespace
-{
-
-/** Fill @p bits with rng words (matches the recovery-sweep fill). */
-BitVector
-randomWord(size_t bits, Rng &rng)
-{
-    BitVector d(bits);
-    for (size_t w = 0; w < bits; w += 64) {
-        const size_t len = std::min<size_t>(64, bits - w);
-        d.setSlice(w, BitVector(len, rng.next()));
-    }
-    return d;
-}
-
-/** One conventional-array trial: all-words verify after injection. */
-void
-conventionalTrial(const InjectionScheme &s, const FaultModel &fault,
-                  uint64_t trial_seed, bool &corrected_out,
-                  bool &silent_out)
-{
-    Rng rng(trial_seed);
-    ProtectedArray arr(s.rows, makeCode(s.code, s.wordBits), s.degree);
-    std::vector<std::vector<BitVector>> golden(
-        arr.rows(), std::vector<BitVector>(arr.wordsPerRow()));
-    for (size_t r = 0; r < arr.rows(); ++r) {
-        for (size_t slot = 0; slot < arr.wordsPerRow(); ++slot) {
-            golden[r][slot] = randomWord(s.wordBits, rng);
-            arr.writeWord(r, slot, golden[r][slot]);
-        }
-    }
-    FaultInjector inj(rng);
-    inj.inject(arr.cells(), fault);
-
-    bool all_ok = true, any_silent = false;
-    for (size_t r = 0; r < arr.rows(); ++r) {
-        for (size_t slot = 0; slot < arr.wordsPerRow(); ++slot) {
-            const AccessResult res = arr.readWord(r, slot);
-            if (!res.ok())
-                all_ok = false;
-            else if (res.data != golden[r][slot])
-                all_ok = false, any_silent = true;
-        }
-    }
-    corrected_out = all_ok;
-    silent_out = any_silent;
-}
-
-/** One HV-product-code trial: checkAndCorrect then row-level verify. */
-void
-productCodeTrial(const InjectionScheme &s, const FaultModel &fault,
-                 uint64_t trial_seed, bool &corrected_out,
-                 bool &silent_out)
-{
-    Rng rng(trial_seed);
-    ProductCodeArray arr(s.rows, s.cols);
-    std::vector<BitVector> golden;
-    golden.reserve(s.rows);
-    for (size_t r = 0; r < s.rows; ++r) {
-        golden.push_back(randomWord(s.cols, rng));
-        arr.writeRow(r, golden.back());
-    }
-    FaultInjector inj(rng);
-    inj.inject(arr.cells(), fault);
-
-    const ProductCodeReport rep = arr.checkAndCorrect();
-    bool matches = true;
-    for (size_t r = 0; r < s.rows && matches; ++r)
-        matches = arr.readRow(r) == golden[r];
-    corrected_out = rep.clean && matches;
-    silent_out = rep.clean && !matches;
-}
-
-} // namespace
-
-InjectionOutcome
-runInjectionCampaign(const InjectionScheme &scheme, const FaultModel &fault,
-                     int trials, uint64_t seed)
-{
-    InjectionOutcome out;
-
-    if (scheme.kind == InjectionScheme::Kind::kTwoDim) {
-        // The 2D arm *is* the recovery sweep: same fill, same scrub,
-        // same all-words verification.
-        RecoverySweepParams params;
-        params.config = scheme.config;
-        params.fault = fault;
-        params.trials = trials;
-        params.seed = seed;
-        const RecoverySweepResult res = runRecoverySweep(params);
-        out.trials = res.trials;
-        out.corrected = res.recovered;
-        out.detectedOnly = res.detectedOnly;
-        out.silent = res.silent;
-        return out;
-    }
-
-    const size_t n = trials < 0 ? 0 : size_t(trials);
-    std::vector<char> corrected(n, 0), silent(n, 0);
-    parallelFor(n, [&](size_t t) {
-        bool c = false, s = false;
-        if (scheme.kind == InjectionScheme::Kind::kConventional)
-            conventionalTrial(scheme, fault, shardSeed(seed, t), c, s);
-        else
-            productCodeTrial(scheme, fault, shardSeed(seed, t), c, s);
-        corrected[t] = c ? 1 : 0;
-        silent[t] = s ? 1 : 0;
-    });
-    for (size_t t = 0; t < n; ++t) {
-        ++out.trials;
-        out.corrected += corrected[t];
-        out.detectedOnly += !corrected[t] && !silent[t];
-        out.silent += silent[t];
-    }
-    return out;
-}
-
 } // namespace tdc
+

@@ -12,14 +12,12 @@
 #ifndef TDC_RELIABILITY_CAMPAIGN_HH
 #define TDC_RELIABILITY_CAMPAIGN_HH
 
-#include <cstdint>
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
 
-#include "array/fault.hh"
 #include "common/table.hh"
-#include "core/twod_config.hh"
 
 namespace tdc
 {
@@ -83,69 +81,6 @@ struct CampaignResult
 
 /** Execute the grid: all cells, then summary rows, reduced in order. */
 CampaignResult runCampaignGrid(const CampaignGrid &grid);
-
-/**
- * The protection-scheme axis of an injection campaign: the paper's 2D
- * banks, the conventional interleaved per-word codes of Figures 3(a)
- * and 3(b), and the related-work HV product code.
- */
-struct InjectionScheme
-{
-    enum class Kind
-    {
-        kConventional, ///< ProtectedArray: per-word code + interleave
-        kTwoDim,       ///< TwoDimArray bank (runs the recovery sweep)
-        kProductCode,  ///< ProductCodeArray (HV parity)
-    };
-
-    Kind kind = Kind::kTwoDim;
-
-    /** kConventional: the per-word code, geometry, and interleave. */
-    CodeKind code = CodeKind::kSecDed;
-    size_t wordBits = 64;
-    size_t degree = 4;
-    size_t rows = 256;
-
-    /** kTwoDim: the bank configuration. */
-    TwoDimConfig config = TwoDimConfig::l1Default();
-
-    /** kProductCode: array columns (rows field above is shared). */
-    size_t cols = 256;
-
-    static InjectionScheme conventional(CodeKind code, size_t degree,
-                                        size_t rows = 256,
-                                        size_t word_bits = 64);
-    static InjectionScheme twoDim(const TwoDimConfig &config);
-    static InjectionScheme productCode(size_t rows, size_t cols);
-};
-
-/** Outcome counters of one injection campaign (summed in trial order). */
-struct InjectionOutcome
-{
-    int trials = 0;
-    /** Array repaired and every word read back equal to the golden data. */
-    int corrected = 0;
-    /** Not repaired, but every wrong word was flagged (no silent loss). */
-    int detectedOnly = 0;
-    /** At least one word read back wrong without any error flagged. */
-    int silent = 0;
-
-    /** Coverage verdict string used by the figure tables. */
-    std::string verdict() const;
-
-    bool operator==(const InjectionOutcome &) const = default;
-};
-
-/**
- * Run @p trials of (fill with random data, inject one @p fault event,
- * repair through the scheme's machinery, verify against the golden
- * data). Trial i draws all randomness from shardSeed(seed, i); trials
- * shard over the worker pool — bit-identical at any thread count. The
- * kTwoDim arm executes over reliability/recovery_sweep.
- */
-InjectionOutcome runInjectionCampaign(const InjectionScheme &scheme,
-                                      const FaultModel &fault, int trials,
-                                      uint64_t seed);
 
 } // namespace tdc
 

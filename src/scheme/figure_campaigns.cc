@@ -1,4 +1,4 @@
-#include "reliability/figure_campaigns.hh"
+#include "scheme/figure_campaigns.hh"
 
 #include "common/parallel.hh"
 #include "core/twod_array.hh"
@@ -38,6 +38,17 @@ figure1RowLabels()
     for (CodeKind kind : kFigure1Kinds)
         labels.push_back(codeKindName(kind));
     return labels;
+}
+
+/** Parse every spec in @p specs through the registry. */
+std::vector<SchemePtr>
+parseAll(const std::vector<std::string> &specs)
+{
+    std::vector<SchemePtr> schemes;
+    schemes.reserve(specs.size());
+    for (const std::string &spec : specs)
+        schemes.push_back(parseScheme(spec));
+    return schemes;
 }
 
 } // namespace
@@ -118,30 +129,27 @@ figure2EnergyCampaign(const std::string &title, size_t capacity_bytes,
 CampaignResult
 figure3OverheadCampaign()
 {
+    // The scheme axis by spec string; labels derive from the scheme
+    // names except the 2D row, which Figure 3 spells with its vertical
+    // code ("2D EDC8+Intv4/EDC32").
+    const std::vector<SchemePtr> schemes =
+        parseAll({"conv:secded/i4", "conv:oecned/i4", "2d:edc8/i4+vp32"});
+
     CampaignGrid grid;
     grid.rowHeader = "Scheme";
-    grid.rowLabels = {"(a) SECDED+Intv4", "(b) OECNED+Intv4",
+    grid.rowLabels = {"(a) " + schemes[0]->name(),
+                      "(b) " + schemes[1]->name(),
                       "(c) 2D EDC8+Intv4/EDC32"};
     grid.colHeaders = {"Storage overhead", "Guaranteed coverage"};
     grid.parallelCells = false;
-    grid.cell = [](size_t row, size_t col) -> std::string {
+    grid.cell = [schemes](size_t row, size_t col) -> std::string {
         if (col == 1) {
             static const char *coverage[] = {"4-bit row bursts",
                                              "32-bit row bursts",
                                              "32x32-bit clusters"};
             return coverage[row];
         }
-        switch (row) {
-          case 0:
-            return Table::pct(
-                makeCode(CodeKind::kSecDed, 64)->storageOverhead());
-          case 1:
-            return Table::pct(
-                makeCode(CodeKind::kOecNed, 64)->storageOverhead());
-          default:
-            return Table::pct(
-                TwoDimArray(TwoDimConfig::l1Default()).storageOverhead());
-        }
+        return Table::pct(schemes[row]->storageOverhead());
     };
     return runCampaignGrid(grid);
 }
@@ -151,39 +159,38 @@ figure3InjectionCampaign(int trials, uint64_t seed)
 {
     // Scheme axis: the two conventional baselines and the two 2D
     // variants (EDC8 horizontal; SECDED horizontal for full columns).
-    TwoDimConfig secded_cfg = TwoDimConfig::l1Default();
-    secded_cfg.horizontalKind = CodeKind::kSecDed;
-    const std::vector<InjectionScheme> schemes = {
-        InjectionScheme::conventional(CodeKind::kSecDed, 4),
-        InjectionScheme::conventional(CodeKind::kOecNed, 4),
-        InjectionScheme::twoDim(TwoDimConfig::l1Default()),
-        InjectionScheme::twoDim(secded_cfg),
-    };
+    const std::vector<SchemePtr> schemes = parseAll({
+        "conv:secded/i4",
+        "conv:oecned/i4",
+        "2d:edc8/i4+vp32",
+        "2d:secded/i4+vp32",
+    });
 
     // Fault-model axis: the paper's footprint sweep.
-    const std::pair<size_t, size_t> footprints[] = {
-        {1, 1},  {4, 1},  {8, 1},   {32, 1},
-        {4, 4},  {8, 8},  {16, 16}, {32, 32},
-        {1, 32}, {1, 256},
+    static const char *const kFootprints[] = {
+        "1x1",  "4x1",  "8x1",   "32x1",
+        "4x4",  "8x8",  "16x16", "32x32",
+        "1x32", "1x256",
     };
 
     CampaignGrid grid;
     grid.rowHeader = "Error footprint";
     std::vector<FaultModel> faults;
-    for (auto [w, h] : footprints) {
-        faults.push_back(FaultModel::cluster(w, h));
-        grid.rowLabels.push_back(std::to_string(w) + "x" +
-                                 std::to_string(h));
+    for (const char *spec : kFootprints) {
+        faults.push_back(parseFaultModel(spec));
+        grid.rowLabels.push_back(spec);
     }
-    grid.colHeaders = {"SECDED+Intv4", "OECNED+Intv4", "2D (EDC8, EDC32)",
-                       "2D (SECDED, EDC32)"};
+    // Figure 3 abbreviates the 2D columns with their vertical code
+    // instead of the schemes' canonical "2D(...)+vp" names.
+    grid.colHeaders = {schemes[0]->name(), schemes[1]->name(),
+                       "2D (EDC8, EDC32)", "2D (SECDED, EDC32)"};
     const size_t nc = grid.colHeaders.size();
     grid.cell = [=](size_t row, size_t col) {
         // Each cell is its own campaign with a counter-based seed, so
         // the grid is a pure function of (trials, seed).
         const uint64_t cell_seed = shardSeed(seed, row * nc + col);
-        return runInjectionCampaign(schemes[col], faults[row], trials,
-                                    cell_seed)
+        return schemes[col]
+            ->injectAndRecover(faults[row], trials, cell_seed)
             .verdict();
     };
     return runCampaignGrid(grid);
@@ -191,21 +198,21 @@ figure3InjectionCampaign(int trials, uint64_t seed)
 
 CampaignResult
 figure7Campaign(const std::string &title, const CacheGeometry &geom,
-                const std::vector<SchemeSpec> &schemes)
+                const std::vector<std::string> &scheme_specs)
 {
-    const SchemeSpec reference =
-        SchemeSpec::conventional(CodeKind::kSecDed, 2);
+    const std::vector<SchemePtr> schemes = parseAll(scheme_specs);
+    const SchemeSpec reference = parseScheme("conv:secded/i2")->costSpec();
 
     CampaignGrid grid;
     grid.title = title;
     grid.rowHeader = "Scheme";
-    for (const SchemeSpec &s : schemes)
-        grid.rowLabels.push_back(s.label());
+    for (const SchemePtr &s : schemes)
+        grid.rowLabels.push_back(s->name());
     grid.colHeaders = {"Code area", "Coding latency", "Dynamic power"};
     grid.parallelCells = false;
     grid.cell = [=](size_t row, size_t col) {
         const NormalizedOverhead n =
-            normalizeScheme(schemes[row], reference, geom);
+            normalizeScheme(schemes[row]->costSpec(), reference, geom);
         const double v = col == 0 ? n.area : col == 1 ? n.latency : n.power;
         return Table::pct(v, 0);
     };
@@ -289,29 +296,55 @@ figure8SoftErrorCampaign()
 CampaignResult
 relatedWorkCampaign(int trials, uint64_t seed)
 {
-    const std::vector<InjectionScheme> schemes = {
-        InjectionScheme::productCode(256, 256),
-        InjectionScheme::twoDim(TwoDimConfig::l1Default()),
-    };
-    const std::pair<size_t, size_t> footprints[] = {
-        {1, 1}, {3, 1}, {1, 3}, {2, 2}, {8, 8}, {32, 32},
+    const std::vector<SchemePtr> schemes =
+        parseAll({"prod:256x256", "2d:edc8/i4+vp32"});
+    static const char *const kFootprints[] = {
+        "1x1", "3x1", "1x3", "2x2", "8x8", "32x32",
     };
 
     CampaignGrid grid;
     grid.rowHeader = "Error footprint";
     std::vector<FaultModel> faults;
-    for (auto [w, h] : footprints) {
-        faults.push_back(FaultModel::cluster(w, h));
-        grid.rowLabels.push_back(std::to_string(w) + "x" +
-                                 std::to_string(h));
+    for (const char *spec : kFootprints) {
+        faults.push_back(parseFaultModel(spec));
+        grid.rowLabels.push_back(spec);
     }
     grid.colHeaders = {"HV product code", "2D (EDC8+Intv4, EDC32)"};
     const size_t nc = grid.colHeaders.size();
     grid.cell = [=](size_t row, size_t col) {
         const uint64_t cell_seed = shardSeed(seed, row * nc + col);
-        return runInjectionCampaign(schemes[col], faults[row], trials,
-                                    cell_seed)
+        return schemes[col]
+            ->injectAndRecover(faults[row], trials, cell_seed)
             .verdict();
+    };
+    return runCampaignGrid(grid);
+}
+
+CampaignResult
+customInjectionCampaign(const std::vector<std::string> &scheme_specs,
+                        const std::vector<std::string> &fault_specs,
+                        int trials, uint64_t seed)
+{
+    const std::vector<SchemePtr> schemes = parseAll(scheme_specs);
+    std::vector<FaultModel> faults;
+    faults.reserve(fault_specs.size());
+    for (const std::string &spec : fault_specs)
+        faults.push_back(parseFaultModel(spec));
+
+    CampaignGrid grid;
+    grid.title = "Injection campaign: " + std::to_string(trials) +
+                 " events/cell, seed " + std::to_string(seed);
+    grid.rowHeader = "Fault";
+    for (const FaultModel &fault : faults)
+        grid.rowLabels.push_back(fault.describe());
+    for (const SchemePtr &scheme : schemes)
+        grid.colHeaders.push_back(scheme->name());
+    const size_t nc = grid.colHeaders.size();
+    grid.cell = [=](size_t row, size_t col) {
+        const uint64_t cell_seed = shardSeed(seed, row * nc + col);
+        return schemes[col]
+            ->injectAndRecover(faults[row], trials, cell_seed)
+            .summary();
     };
     return runCampaignGrid(grid);
 }

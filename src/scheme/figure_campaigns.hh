@@ -2,17 +2,18 @@
  * @file
  * Declarative definitions of the paper's figure campaigns, one builder
  * per panel, all executed through the unified campaign driver
- * (reliability/campaign.hh). The bench_fig* binaries are thin mains
- * over these builders, and the golden-pin tests execute the same
- * builders — so the printed tables and the pinned tables can never
- * drift apart.
+ * (reliability/campaign.hh) with every protection-scheme axis named by
+ * a spec string through the scheme registry (scheme/scheme.hh). The
+ * bench_fig* binaries and the tdc_run driver run these builders, and
+ * the golden-pin tests execute the same builders — so the printed
+ * tables and the pinned tables can never drift apart.
  */
 
-#ifndef TDC_RELIABILITY_FIGURE_CAMPAIGNS_HH
-#define TDC_RELIABILITY_FIGURE_CAMPAIGNS_HH
+#ifndef TDC_SCHEME_FIGURE_CAMPAIGNS_HH
+#define TDC_SCHEME_FIGURE_CAMPAIGNS_HH
 
 #include "reliability/campaign.hh"
-#include "vlsi/scheme_overhead.hh"
+#include "scheme/scheme.hh"
 
 namespace tdc
 {
@@ -42,12 +43,13 @@ CampaignResult figure3InjectionCampaign(int trials = 40,
                                         uint64_t seed = 2026);
 
 /**
- * Figure 7(a)/(b): code area / latency / power of schemes with the
- * same 32x32 coverage target, normalized to SECDED+Intv2.
+ * Figure 7(a)/(b): code area / latency / power of the schemes named
+ * by @p scheme_specs (registry spec strings) with the same 32x32
+ * coverage target, normalized to SECDED+Intv2 ("conv:secded/i2").
  */
 CampaignResult figure7Campaign(const std::string &title,
                                const CacheGeometry &geom,
-                               const std::vector<SchemeSpec> &schemes);
+                               const std::vector<std::string> &scheme_specs);
 
 /** Figure 8(a): 16MB L2 yield vs. failing cells (analytic). */
 CampaignResult figure8YieldCampaign();
@@ -65,6 +67,18 @@ CampaignResult figure8SoftErrorCampaign();
  */
 CampaignResult relatedWorkCampaign(int trials = 50, uint64_t seed = 60606);
 
+/**
+ * A fully custom injection grid: every fault (rows) crossed with
+ * every scheme spec (columns), @p trials Monte-Carlo events per cell,
+ * each cell seeded with shardSeed(seed, cell) — the tdc_run
+ * "--scheme x --fault y" scenario executor. Cells render as
+ * InjectionOutcome::summary().
+ */
+CampaignResult customInjectionCampaign(
+    const std::vector<std::string> &scheme_specs,
+    const std::vector<std::string> &fault_specs, int trials,
+    uint64_t seed);
+
 } // namespace tdc
 
-#endif // TDC_RELIABILITY_FIGURE_CAMPAIGNS_HH
+#endif // TDC_SCHEME_FIGURE_CAMPAIGNS_HH

@@ -1,0 +1,567 @@
+#include "scheme/scheme.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "array/product_code_array.hh"
+#include "array/protected_array.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "core/twod_array.hh"
+#include "reliability/recovery_sweep.hh"
+
+namespace tdc
+{
+
+std::string
+InjectionOutcome::verdict() const
+{
+    if (silent == trials && trials > 0)
+        return "SILENT corruption";
+    if (silent > 0)
+        return "NOT covered";
+    if (corrected == trials)
+        return "corrected";
+    if (corrected > 0)
+        return "partially corrected";
+    return "detected only";
+}
+
+std::string
+InjectionOutcome::summary() const
+{
+    return verdict() + " " + std::to_string(corrected) + "/" +
+           std::to_string(trials);
+}
+
+SchemeSpec
+ProtectionScheme::costSpec() const
+{
+    throw std::logic_error("scheme \"" + spec() +
+                           "\" has no VLSI cost model");
+}
+
+SchemeOverhead
+ProtectionScheme::cost(const CacheGeometry &geom,
+                       SramObjective objective) const
+{
+    return evaluateScheme(costSpec(), geom, objective);
+}
+
+namespace
+{
+
+// --- Shared spec-grammar helpers ------------------------------------
+
+/** Lowercased codeKindName: the single source of code spellings. */
+std::string
+codeToken(CodeKind kind)
+{
+    std::string label = codeKindName(kind);
+    std::transform(label.begin(), label.end(), label.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return label;
+}
+
+[[noreturn]] void
+specError(const std::string &spec, const std::string &what)
+{
+    throw std::invalid_argument("scheme spec \"" + spec + "\": " + what);
+}
+
+/** Parse the decimal digits of @p digits (from @p token) in range. */
+size_t
+parseNumber(const std::string &spec, const std::string &token,
+            const std::string &digits, size_t lo, size_t hi)
+{
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        specError(spec, "malformed number in \"" + token + "\"");
+    const unsigned long long v = std::strtoull(digits.c_str(), nullptr, 10);
+    if (v < lo || v > hi)
+        specError(spec, "value out of range [" + std::to_string(lo) + ".." +
+                            std::to_string(hi) + "] in \"" + token + "\"");
+    return size_t(v);
+}
+
+/** Interleaved-parity class width of EDC kinds (0 = not an EDC code). */
+size_t
+edcClassWidth(CodeKind kind)
+{
+    switch (kind) {
+      case CodeKind::kEdc8: return 8;
+      case CodeKind::kEdc16: return 16;
+      case CodeKind::kEdc32: return 32;
+      default: return 0;
+    }
+}
+
+/** The conv/wt/2d body: code, /i degree, optional /w bits, /r rows,
+ *  and (2d only) +vp parity rows. */
+struct BodyParams
+{
+    CodeKind code = CodeKind::kSecDed;
+    size_t degree = 0;
+    size_t wordBits = 64;
+    size_t rows = 256;
+    size_t verticalRows = 32;
+};
+
+BodyParams
+parseBody(const std::string &body, const std::string &spec, bool allow_vp)
+{
+    // Tokens separate on '/' and '+' equally ("i4+vp32" == "i4/vp32").
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : body) {
+        if (c == '/' || c == '+') {
+            tokens.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    tokens.push_back(current);
+
+    BodyParams p;
+    try {
+        p.code = parseCodeKind(tokens.front());
+    } catch (const std::invalid_argument &e) {
+        specError(spec, e.what());
+    }
+
+    bool have_degree = false;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+        const std::string &tok = tokens[i];
+        if (tok.rfind("vp", 0) == 0 && allow_vp) {
+            p.verticalRows = parseNumber(spec, tok, tok.substr(2), 1, 4096);
+        } else if (tok.rfind("i", 0) == 0) {
+            p.degree = parseNumber(spec, tok, tok.substr(1), 1, 64);
+            have_degree = true;
+        } else if (tok.rfind("w", 0) == 0) {
+            p.wordBits = parseNumber(spec, tok, tok.substr(1), 8, 512);
+        } else if (tok.rfind("r", 0) == 0) {
+            p.rows = parseNumber(spec, tok, tok.substr(1), 1, 65536);
+        } else {
+            specError(spec, "unknown token \"" + tok + "\"");
+        }
+    }
+    if (!have_degree)
+        specError(spec, "missing interleave degree (\"/i<deg>\")");
+    if (const size_t n = edcClassWidth(p.code);
+        n != 0 && p.wordBits % n != 0)
+        specError(spec, "word width " + std::to_string(p.wordBits) +
+                            " is not a multiple of the \"" +
+                            codeToken(p.code) + "\" class width " +
+                            std::to_string(n));
+    if (allow_vp && p.verticalRows > p.rows)
+        specError(spec, "vertical parity rows \"vp" +
+                            std::to_string(p.verticalRows) +
+                            "\" exceed the bank's " +
+                            std::to_string(p.rows) + " data rows");
+    return p;
+}
+
+/** Append the non-default geometry suffix shared by conv/wt/2d. */
+std::string
+geometrySuffix(size_t word_bits, size_t rows)
+{
+    std::string out;
+    if (word_bits != 64)
+        out += "/w" + std::to_string(word_bits);
+    if (rows != 256)
+        out += "/r" + std::to_string(rows);
+    return out;
+}
+
+// --- Monte-Carlo trial bodies ---------------------------------------
+
+/** Fill @p bits with rng words (matches the recovery-sweep fill). */
+BitVector
+randomWord(size_t bits, Rng &rng)
+{
+    BitVector d(bits);
+    for (size_t w = 0; w < bits; w += 64) {
+        const size_t len = std::min<size_t>(64, bits - w);
+        d.setSlice(w, BitVector(len, rng.next()));
+    }
+    return d;
+}
+
+/** Shard @p trials over the pool; each trial reports (corrected,
+ *  silent) and the outcome is reduced in trial order. */
+template <typename Trial>
+InjectionOutcome
+runTrials(int trials, uint64_t seed, Trial &&trial)
+{
+    const size_t n = trials < 0 ? 0 : size_t(trials);
+    std::vector<char> corrected(n, 0), silent(n, 0);
+    parallelFor(n, [&](size_t t) {
+        bool c = false, s = false;
+        trial(shardSeed(seed, t), c, s);
+        corrected[t] = c ? 1 : 0;
+        silent[t] = s ? 1 : 0;
+    });
+    InjectionOutcome out;
+    for (size_t t = 0; t < n; ++t) {
+        ++out.trials;
+        out.corrected += corrected[t];
+        out.detectedOnly += !corrected[t] && !silent[t];
+        out.silent += silent[t];
+    }
+    return out;
+}
+
+// --- conv / wt ------------------------------------------------------
+
+/**
+ * Conventional 1D protection: per-word code + physical interleaving
+ * on a ProtectedArray. Also the injection backend of wt (the
+ * write-through L1 array is the same EDC-coded array; duplication
+ * into the next level only changes the cost model).
+ */
+class ConventionalScheme : public ProtectionScheme
+{
+  public:
+    ConventionalScheme(CodeKind code, size_t degree, size_t word_bits,
+                       size_t rows, bool write_through)
+        : code_(code), degree_(degree), wordBits_(word_bits), rows_(rows),
+          writeThrough_(write_through)
+    {
+    }
+
+    std::string name() const override
+    {
+        const std::string base =
+            codeKindName(code_) + "+Intv" + std::to_string(degree_);
+        return writeThrough_ ? base + "(Wr-through)" : base;
+    }
+
+    std::string spec() const override
+    {
+        return std::string(writeThrough_ ? "wt:" : "conv:") +
+               codeToken(code_) + "/i" + std::to_string(degree_) +
+               geometrySuffix(wordBits_, rows_);
+    }
+
+    double storageOverhead() const override
+    {
+        return makeCode(code_, wordBits_)->storageOverhead();
+    }
+
+    bool hasCostModel() const override { return true; }
+
+    SchemeSpec costSpec() const override
+    {
+        return writeThrough_ ? SchemeSpec::writeThrough(code_, degree_)
+                             : SchemeSpec::conventional(code_, degree_);
+    }
+
+    InjectionOutcome injectAndRecover(const FaultModel &fault, int trials,
+                                      uint64_t seed) const override
+    {
+        return runTrials(trials, seed, [&](uint64_t trial_seed, bool &c,
+                                           bool &s) {
+            Rng rng(trial_seed);
+            ProtectedArray arr(rows_, makeCode(code_, wordBits_), degree_);
+            std::vector<std::vector<BitVector>> golden(
+                arr.rows(), std::vector<BitVector>(arr.wordsPerRow()));
+            for (size_t r = 0; r < arr.rows(); ++r) {
+                for (size_t slot = 0; slot < arr.wordsPerRow(); ++slot) {
+                    golden[r][slot] = randomWord(wordBits_, rng);
+                    arr.writeWord(r, slot, golden[r][slot]);
+                }
+            }
+            FaultInjector inj(rng);
+            inj.inject(arr.cells(), fault);
+
+            bool all_ok = true, any_silent = false;
+            for (size_t r = 0; r < arr.rows(); ++r) {
+                for (size_t slot = 0; slot < arr.wordsPerRow(); ++slot) {
+                    const AccessResult res = arr.readWord(r, slot);
+                    if (!res.ok())
+                        all_ok = false;
+                    else if (res.data != golden[r][slot])
+                        all_ok = false, any_silent = true;
+                }
+            }
+            c = all_ok;
+            s = any_silent;
+        });
+    }
+
+  private:
+    CodeKind code_;
+    size_t degree_;
+    size_t wordBits_;
+    size_t rows_;
+    bool writeThrough_;
+};
+
+// --- 2d -------------------------------------------------------------
+
+/** The paper's 2D coding bank; injection runs the recovery sweep. */
+class TwoDimScheme : public ProtectionScheme
+{
+  public:
+    explicit TwoDimScheme(const TwoDimConfig &config) : config_(config) {}
+
+    std::string name() const override
+    {
+        return "2D(" + codeKindName(config_.horizontalKind) + "+Intv" +
+               std::to_string(config_.interleaveDegree) + ",EDC" +
+               std::to_string(config_.verticalParityRows) + ")";
+    }
+
+    std::string spec() const override
+    {
+        return "2d:" + codeToken(config_.horizontalKind) + "/i" +
+               std::to_string(config_.interleaveDegree) + "+vp" +
+               std::to_string(config_.verticalParityRows) +
+               geometrySuffix(config_.wordBits, config_.dataRows);
+    }
+
+    double storageOverhead() const override
+    {
+        return TwoDimArray(config_).storageOverhead();
+    }
+
+    bool hasCostModel() const override { return true; }
+
+    SchemeSpec costSpec() const override
+    {
+        return SchemeSpec::twoDim(config_.horizontalKind,
+                                  config_.interleaveDegree,
+                                  config_.verticalParityRows);
+    }
+
+    InjectionOutcome injectAndRecover(const FaultModel &fault, int trials,
+                                      uint64_t seed) const override
+    {
+        RecoverySweepParams params;
+        params.config = config_;
+        params.fault = fault;
+        params.trials = trials;
+        params.seed = seed;
+        const RecoverySweepResult res = runRecoverySweep(params);
+        InjectionOutcome out;
+        out.trials = res.trials;
+        out.corrected = res.recovered;
+        out.detectedOnly = res.detectedOnly;
+        out.silent = res.silent;
+        return out;
+    }
+
+    const TwoDimConfig &config() const { return config_; }
+
+  private:
+    TwoDimConfig config_;
+};
+
+// --- prod -----------------------------------------------------------
+
+/** Related-work HV product code (one parity row + column per array). */
+class ProductCodeScheme : public ProtectionScheme
+{
+  public:
+    ProductCodeScheme(size_t rows, size_t cols) : rows_(rows), cols_(cols)
+    {
+    }
+
+    std::string name() const override
+    {
+        return "HVProd(" + std::to_string(rows_) + "x" +
+               std::to_string(cols_) + ")";
+    }
+
+    std::string spec() const override
+    {
+        return "prod:" + std::to_string(rows_) + "x" +
+               std::to_string(cols_);
+    }
+
+    double storageOverhead() const override
+    {
+        return double(rows_ + cols_) / double(rows_ * cols_);
+    }
+
+    InjectionOutcome injectAndRecover(const FaultModel &fault, int trials,
+                                      uint64_t seed) const override
+    {
+        return runTrials(trials, seed, [&](uint64_t trial_seed, bool &c,
+                                           bool &s) {
+            Rng rng(trial_seed);
+            ProductCodeArray arr(rows_, cols_);
+            std::vector<BitVector> golden;
+            golden.reserve(rows_);
+            for (size_t r = 0; r < rows_; ++r) {
+                golden.push_back(randomWord(cols_, rng));
+                arr.writeRow(r, golden.back());
+            }
+            FaultInjector inj(rng);
+            inj.inject(arr.cells(), fault);
+
+            const ProductCodeReport rep = arr.checkAndCorrect();
+            bool matches = true;
+            for (size_t r = 0; r < rows_ && matches; ++r)
+                matches = arr.readRow(r) == golden[r];
+            c = rep.clean && matches;
+            s = rep.clean && !matches;
+        });
+    }
+
+  private:
+    size_t rows_;
+    size_t cols_;
+};
+
+// --- Registry -------------------------------------------------------
+
+std::vector<SchemeFamily>
+builtinFamilies()
+{
+    std::vector<SchemeFamily> families;
+
+    families.push_back(
+        {"conv", "conv:<code>/i<deg>[/w<bits>][/r<rows>]",
+         "conventional per-word code + physical interleaving",
+         {"conv:secded/i4", "conv:oecned/i4", "conv:dected/i16",
+          "conv:qecped/i8", "conv:secded/i2/w256"},
+         [](const std::string &body, const std::string &spec) {
+             const BodyParams p = parseBody(body, spec, false);
+             return makeConventionalScheme(p.code, p.degree, p.wordBits,
+                                           p.rows);
+         }});
+
+    families.push_back(
+        {"2d", "2d:<code>/i<deg>+vp<rows>[/w<bits>][/r<rows>]",
+         "the paper's 2D coding: horizontal code + interleave + "
+         "vertical parity",
+         {"2d:edc8/i4+vp32", "2d:edc16/i2+vp32/w256",
+          "2d:secded/i4+vp32"},
+         [](const std::string &body, const std::string &spec) {
+             const BodyParams p = parseBody(body, spec, true);
+             TwoDimConfig cfg;
+             cfg.horizontalKind = p.code;
+             cfg.interleaveDegree = p.degree;
+             cfg.wordBits = p.wordBits;
+             cfg.dataRows = p.rows;
+             cfg.verticalParityRows = p.verticalRows;
+             return makeTwoDimScheme(cfg);
+         }});
+
+    families.push_back(
+        {"wt", "wt:<code>/i<deg>[/w<bits>][/r<rows>]",
+         "EDC-only write-through L1 duplicating stores into the next "
+         "level",
+         {"wt:edc8/i4"},
+         [](const std::string &body, const std::string &spec) {
+             const BodyParams p = parseBody(body, spec, false);
+             return makeWriteThroughScheme(p.code, p.degree, p.wordBits,
+                                           p.rows);
+         }});
+
+    families.push_back(
+        {"prod", "prod:<rows>x<cols>",
+         "related-work HV product code (horizontal + vertical parity)",
+         {"prod:256x256", "prod:64x64"},
+         [](const std::string &body, const std::string &spec) {
+             const size_t x = body.find('x');
+             if (x == std::string::npos)
+                 specError(spec, "expected \"<rows>x<cols>\", got \"" +
+                                     body + "\"");
+             const size_t rows = parseNumber(spec, body, body.substr(0, x),
+                                             2, 4096);
+             const size_t cols = parseNumber(spec, body, body.substr(x + 1),
+                                             2, 4096);
+             return makeProductCodeScheme(rows, cols);
+         }});
+
+    return families;
+}
+
+std::vector<SchemeFamily> &
+familyRegistry()
+{
+    static std::vector<SchemeFamily> families = builtinFamilies();
+    return families;
+}
+
+} // namespace
+
+void
+registerScheme(SchemeFamily family)
+{
+    auto &families = familyRegistry();
+    for (SchemeFamily &existing : families) {
+        if (existing.key == family.key) {
+            existing = std::move(family);
+            return;
+        }
+    }
+    families.push_back(std::move(family));
+}
+
+std::vector<SchemeFamily>
+schemeFamilies()
+{
+    return familyRegistry();
+}
+
+SchemePtr
+parseScheme(const std::string &spec)
+{
+    const size_t colon = spec.find(':');
+    if (colon == std::string::npos)
+        throw std::invalid_argument("scheme spec \"" + spec +
+                                    "\": missing \":\" after the family");
+    const std::string key = spec.substr(0, colon);
+    for (const SchemeFamily &family : familyRegistry()) {
+        if (family.key == key)
+            return family.parse(spec.substr(colon + 1), spec);
+    }
+    throw std::invalid_argument("scheme spec \"" + spec +
+                                "\": unknown family \"" + key + "\"");
+}
+
+std::vector<std::string>
+exampleSchemeSpecs()
+{
+    std::vector<std::string> specs;
+    for (const SchemeFamily &family : familyRegistry())
+        specs.insert(specs.end(), family.examples.begin(),
+                     family.examples.end());
+    return specs;
+}
+
+SchemePtr
+makeConventionalScheme(CodeKind code, size_t degree, size_t word_bits,
+                       size_t rows)
+{
+    return std::make_shared<ConventionalScheme>(code, degree, word_bits,
+                                                rows, false);
+}
+
+SchemePtr
+makeTwoDimScheme(const TwoDimConfig &config)
+{
+    return std::make_shared<TwoDimScheme>(config);
+}
+
+SchemePtr
+makeWriteThroughScheme(CodeKind code, size_t degree, size_t word_bits,
+                       size_t rows)
+{
+    return std::make_shared<ConventionalScheme>(code, degree, word_bits,
+                                                rows, true);
+}
+
+SchemePtr
+makeProductCodeScheme(size_t rows, size_t cols)
+{
+    return std::make_shared<ProductCodeScheme>(rows, cols);
+}
+
+} // namespace tdc

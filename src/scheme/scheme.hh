@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The runtime-pluggable protection-scheme API. Every way the study
+ * protects an array — conventional per-word ECC + interleaving, the
+ * paper's 2D coding, write-through EDC, the related-work HV product
+ * code — is one ProtectionScheme behind one registry, constructed
+ * from a spec string:
+ *
+ *   spec     ::= family ":" body
+ *   family   ::= "conv" | "2d" | "wt" | "prod" | <registered>
+ *   conv/wt  ::= code "/i" degree opt*        ; e.g. conv:secded/i4
+ *   2d       ::= code "/i" degree "+vp" rows opt*
+ *                                             ; e.g. 2d:edc8/i4+vp32
+ *   prod     ::= rows "x" cols                ; e.g. prod:256x256
+ *   opt      ::= "/w" word-bits | "/r" data-rows
+ *   code     ::= parity|edc8|edc16|edc32|secded|dected|qecped|oecned
+ *
+ * spec() round-trips: parseScheme(s->spec()) reconstructs an equal
+ * scheme, and malformed specs throw std::invalid_argument quoting the
+ * offending token. Campaign grids, the tdc_run driver, and tests all
+ * name schemes exclusively through this grammar, so a new scenario is
+ * data, not C++.
+ */
+
+#ifndef TDC_SCHEME_SCHEME_HH
+#define TDC_SCHEME_SCHEME_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/fault.hh"
+#include "core/twod_config.hh"
+#include "vlsi/scheme_overhead.hh"
+
+namespace tdc
+{
+
+/** Outcome counters of one injection campaign (summed in trial order). */
+struct InjectionOutcome
+{
+    int trials = 0;
+    /** Array repaired and every word read back equal to the golden data. */
+    int corrected = 0;
+    /** Not repaired, but every wrong word was flagged (no silent loss). */
+    int detectedOnly = 0;
+    /** At least one word read back wrong without any error flagged. */
+    int silent = 0;
+
+    /** Coverage verdict string used by the figure tables. */
+    std::string verdict() const;
+
+    /** Verdict plus the corrected/trials ratio ("corrected 50/50"). */
+    std::string summary() const;
+
+    bool operator==(const InjectionOutcome &) const = default;
+};
+
+/**
+ * One pluggable protection scheme: a name, a round-trippable spec
+ * string, static cost figures, and a Monte-Carlo inject+recover cell
+ * executor. Concrete families (conv/2d/wt/prod) live behind the
+ * registry; campaign code holds only SchemePtr handles.
+ */
+class ProtectionScheme
+{
+  public:
+    virtual ~ProtectionScheme() = default;
+
+    /** Display label, e.g. "SECDED+Intv4" or "2D(EDC8+Intv4,EDC32)". */
+    virtual std::string name() const = 0;
+
+    /** Canonical spec string; parseScheme(spec()) reconstructs *this. */
+    virtual std::string spec() const = 0;
+
+    /** Check-bit (+ vertical / product parity) storage, fraction of
+     *  data bits, on the scheme's own array geometry. */
+    virtual double storageOverhead() const = 0;
+
+    /**
+     * Run @p trials of (fill a fresh array with random data, inject
+     * one @p fault event, repair through the scheme's machinery,
+     * verify against the golden data). Trial i draws all randomness
+     * from shardSeed(seed, i) and trials shard over the worker pool,
+     * so the outcome is a pure function of the arguments —
+     * bit-identical at any TDC_THREADS setting.
+     */
+    virtual InjectionOutcome injectAndRecover(const FaultModel &fault,
+                                              int trials,
+                                              uint64_t seed) const = 0;
+
+    /** True when the scheme has a VLSI cost model (costSpec() works). */
+    virtual bool hasCostModel() const { return false; }
+
+    /**
+     * The vlsi/scheme_overhead description of this scheme, for
+     * evaluateScheme/normalizeScheme (Figures 1(c) and 7). Throws
+     * std::logic_error for families without a cost model (prod).
+     */
+    virtual SchemeSpec costSpec() const;
+
+    /** evaluateScheme(costSpec(), geom, objective) convenience. */
+    SchemeOverhead cost(const CacheGeometry &geom,
+                        SramObjective objective =
+                            SramObjective::kBalanced) const;
+};
+
+/** Shared immutable handle used across campaigns and the driver. */
+using SchemePtr = std::shared_ptr<const ProtectionScheme>;
+
+/** One registered spec-string family ("conv", "2d", ...). */
+struct SchemeFamily
+{
+    /** Family key, the text before ':' in a spec. */
+    std::string key;
+
+    /** One-line grammar, e.g. "conv:<code>/i<deg>[/w<bits>][/r<rows>]". */
+    std::string grammar;
+
+    /** What the family models (for --list-schemes). */
+    std::string description;
+
+    /** Canonical example specs; every one must parse and round-trip. */
+    std::vector<std::string> examples;
+
+    /**
+     * Build a scheme from the body text after "key:". @p spec is the
+     * full spec string for error messages. Must throw
+     * std::invalid_argument on any malformed or out-of-range body.
+     */
+    std::function<SchemePtr(const std::string &body,
+                            const std::string &spec)>
+        parse;
+};
+
+/**
+ * Register a new family. Re-registering an existing key replaces it
+ * (last registration wins). Built-in families (conv, 2d, wt, prod)
+ * are registered on first use of the registry.
+ */
+void registerScheme(SchemeFamily family);
+
+/** All registered families, in registration order. */
+std::vector<SchemeFamily> schemeFamilies();
+
+/**
+ * Parse @p spec through the registry. Throws std::invalid_argument
+ * (offending token quoted) for unknown families, unknown codes,
+ * malformed bodies, or out-of-range degrees/geometry.
+ */
+SchemePtr parseScheme(const std::string &spec);
+
+/** Every registered family's canonical examples (round-trip axis). */
+std::vector<std::string> exampleSchemeSpecs();
+
+// --- Built-in family constructors (the registry uses these too) -----
+
+/** conv: per-word @p code, @p degree-way interleaved. */
+SchemePtr makeConventionalScheme(CodeKind code, size_t degree,
+                                 size_t word_bits = 64, size_t rows = 256);
+
+/** 2d: a TwoDimConfig bank (horizontal code + vertical parity). */
+SchemePtr makeTwoDimScheme(const TwoDimConfig &config);
+
+/** wt: EDC-only write-through L1 (cost model; injects like conv). */
+SchemePtr makeWriteThroughScheme(CodeKind code, size_t degree,
+                                 size_t word_bits = 64, size_t rows = 256);
+
+/** prod: rows x cols HV product-code array. */
+SchemePtr makeProductCodeScheme(size_t rows, size_t cols);
+
+} // namespace tdc
+
+#endif // TDC_SCHEME_SCHEME_HH

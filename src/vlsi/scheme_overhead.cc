@@ -5,22 +5,6 @@
 namespace tdc
 {
 
-std::string
-SchemeSpec::label() const
-{
-    std::string base = codeKindName(horizontal) + "+Intv" +
-                       std::to_string(interleave);
-    switch (style) {
-      case SchemeStyle::kConventional:
-        return base;
-      case SchemeStyle::kTwoDim:
-        return "2D(" + base + ",EDC" + std::to_string(verticalRows) + ")";
-      case SchemeStyle::kWriteThrough:
-        return base + "(Wr-through)";
-    }
-    return base;
-}
-
 SchemeSpec
 SchemeSpec::conventional(CodeKind kind, size_t interleave)
 {

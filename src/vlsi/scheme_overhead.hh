@@ -48,7 +48,9 @@ struct SchemeSpec
      */
     size_t dataRowsPerBank = 0;
 
-    std::string label() const;
+    // Display naming lives in the scheme layer (ProtectionScheme::
+    // name(), single-sourced from codeKindName) — this struct is the
+    // pure cost description.
 
     static SchemeSpec conventional(CodeKind kind, size_t interleave);
     static SchemeSpec twoDim(CodeKind horizontal, size_t interleave,

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The tdc_run driver contract:
+ *  - "--figure fig1/fig2/fig7" emits the very tables the
+ *    CampaignGoldenPins suite pins (driver output == campaign-builder
+ *    output, so the CLI can never drift from the pinned figures);
+ *  - a CLI-launched custom scheme x fault grid is bit-identical at
+ *    TDC_THREADS=1 and 8;
+ *  - csv/json formats carry the same cells as the table format;
+ *  - usage errors (unknown flags/figures, malformed specs) fail with
+ *    exit code 2 and a quoted offending token, never a table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "driver/tdc_run.hh"
+#include "scheme/figure_campaigns.hh"
+
+namespace tdc
+{
+namespace
+{
+
+struct ThreadGuard
+{
+    ~ThreadGuard() { setParallelThreads(0); }
+};
+
+/** Run the driver, asserting success, and return its stdout. */
+std::string
+runOk(const std::vector<std::string> &args)
+{
+    std::string out, err;
+    const int code = tdcRun(args, out, err);
+    EXPECT_EQ(code, 0) << err;
+    EXPECT_TRUE(err.empty()) << err;
+    return out;
+}
+
+TEST(TdcRun, Figure1MatchesCampaignBuilders)
+{
+    const std::string out = runOk({"--figure", "fig1"});
+    EXPECT_NE(out.find(figure1StorageCampaign().render()),
+              std::string::npos);
+    EXPECT_NE(out.find(figure1EnergyCampaign().render()),
+              std::string::npos);
+}
+
+TEST(TdcRun, Figure2MatchesCampaignBuilders)
+{
+    const std::string out = runOk({"--figure", "fig2"});
+    EXPECT_NE(
+        out.find(figure2EnergyCampaign(
+                     "--- Figure 2(b): 64kB cache, (72,64) SECDED words "
+                     "---",
+                     64 * 1024, 64, 1)
+                     .render()),
+        std::string::npos);
+    EXPECT_NE(
+        out.find(figure2EnergyCampaign(
+                     "--- Figure 2(c): 4MB cache, (266,256) SECDED words, "
+                     "8 banks ---",
+                     4 * 1024 * 1024, 256, 8)
+                     .render()),
+        std::string::npos);
+}
+
+TEST(TdcRun, Figure7MatchesCampaignBuilders)
+{
+    const std::string out = runOk({"--figure", "fig7"});
+    EXPECT_NE(
+        out.find(figure7Campaign(
+                     "--- Figure 7(a): 64kB L1 data cache (normalized to "
+                     "SECDED+Intv2 = 100%) ---",
+                     CacheGeometry::l1(),
+                     {"2d:edc8/i4+vp32", "conv:dected/i16",
+                      "conv:qecped/i8", "conv:oecned/i4", "wt:edc8/i4"})
+                     .render()),
+        std::string::npos);
+    EXPECT_NE(
+        out.find(figure7Campaign(
+                     "--- Figure 7(b): 4MB L2 cache (normalized to "
+                     "SECDED+Intv2 = 100%) ---",
+                     CacheGeometry::l2(),
+                     {"2d:edc16/i2+vp32/w256", "conv:dected/i16",
+                      "conv:qecped/i8", "conv:oecned/i4"})
+                     .render()),
+        std::string::npos);
+}
+
+TEST(TdcRun, SeedKeepsFullUint64Precision)
+{
+    ThreadGuard guard;
+    setParallelThreads(1);
+    // 2^53+1 is not representable as a double: a seed routed through
+    // strtod would collapse onto 2^53. The campaign title embeds the
+    // parsed seed verbatim, so it pins the full-precision path.
+    std::string out53p1, err;
+    ASSERT_EQ(tdcRun({"--scheme", "conv:secded/i4/r16", "--fault", "4x4",
+                      "--events", "3", "--seed", "9007199254740993"},
+                     out53p1, err),
+              0);
+    EXPECT_NE(out53p1.find("seed 9007199254740993"), std::string::npos);
+    // Seed 0 is legitimate.
+    std::string out0;
+    EXPECT_EQ(tdcRun({"--scheme", "conv:secded/i4/r16", "--fault", "4x4",
+                      "--events", "1", "--seed", "0"},
+                     out0, err),
+              0);
+}
+
+TEST(TdcRun, CustomGridIdenticalAtOneAndEightThreads)
+{
+    ThreadGuard guard;
+    const std::vector<std::string> args = {
+        "--scheme", "2d:edc8/i4+vp32", "--scheme", "conv:secded/i4/r64",
+        "--fault",  "8x8",             "--fault",  "row:16",
+        "--events", "4",               "--seed",   "99",
+    };
+    setParallelThreads(1);
+    const std::string serial = runOk(args);
+    setParallelThreads(8);
+    EXPECT_EQ(runOk(args), serial);
+    EXPECT_NE(serial.find("2D(EDC8+Intv4,EDC32)"), std::string::npos);
+    // --threads is an alternative spelling of the same pool override.
+    setParallelThreads(1);
+    std::vector<std::string> threaded = args;
+    threaded.push_back("--threads");
+    threaded.push_back("8");
+    EXPECT_EQ(runOk(threaded), serial);
+}
+
+TEST(TdcRun, CustomIpcGridRunsWorkloadSubset)
+{
+    ThreadGuard guard;
+    setParallelThreads(2);
+    const std::string out =
+        runOk({"--machine", "lean", "--protection", "l1+steal",
+               "--protection", "wt", "--workload", "OLTP", "--cycles",
+               "20000"});
+    EXPECT_NE(out.find("IPC loss: lean CMP"), std::string::npos);
+    EXPECT_NE(out.find("OLTP"), std::string::npos);
+    EXPECT_NE(out.find("L1+steal"), std::string::npos);
+    EXPECT_NE(out.find("WT-L1 + 2D-L2"), std::string::npos);
+    // Only the requested workload appears.
+    EXPECT_EQ(out.find("Ocean"), std::string::npos);
+}
+
+TEST(TdcRun, CsvAndJsonCarryTheTableCells)
+{
+    const std::string csv =
+        runOk({"--figure", "fig1", "--format", "csv"});
+    EXPECT_NE(csv.find("Code,HD,64b word,256b word"), std::string::npos);
+    EXPECT_NE(csv.find("OECNED,18,89.1%,28.5%"), std::string::npos);
+
+    const std::string json =
+        runOk({"--figure", "fig1", "--format", "json"});
+    EXPECT_NE(json.find("\"tables\""), std::string::npos);
+    EXPECT_NE(json.find("\"headers\": [\"Code\", \"HD\", \"64b word\", "
+                        "\"256b word\"]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"OECNED\", \"18\", \"89.1%\", \"28.5%\""),
+              std::string::npos);
+}
+
+TEST(TdcRun, ListFlagsEnumerateRegistries)
+{
+    const std::string figures = runOk({"--list-figures"});
+    for (const FigureDef &figure : figureList())
+        EXPECT_NE(figures.find(figure.key), std::string::npos);
+
+    const std::string schemes = runOk({"--list-schemes"});
+    EXPECT_NE(schemes.find("conv:"), std::string::npos);
+    EXPECT_NE(schemes.find("2d:"), std::string::npos);
+    EXPECT_NE(schemes.find("prod:"), std::string::npos);
+    EXPECT_NE(schemes.find("SECDED"), std::string::npos);
+
+    const std::string faults = runOk({"--list-faults"});
+    EXPECT_NE(faults.find("fullrow"), std::string::npos);
+}
+
+TEST(TdcRun, UsageErrorsExitTwoWithQuotedToken)
+{
+    const auto expectUsageError = [](const std::vector<std::string> &args,
+                                     const std::string &needle) {
+        std::string out, err;
+        EXPECT_EQ(tdcRun(args, out, err), 2);
+        EXPECT_NE(err.find(needle), std::string::npos) << err;
+        EXPECT_EQ(out.find("---"), std::string::npos);
+    };
+    expectUsageError({"--bogus"}, "\"--bogus\"");
+    expectUsageError({"--figure", "fig99"}, "\"fig99\"");
+    expectUsageError({"--scheme", "conv:edc9/i4"}, "\"edc9\"");
+    expectUsageError({"--scheme", "conv:secded/i4", "--fault", "blob"},
+                     "\"blob\"");
+    expectUsageError({"--fault", "8x8"}, "--scheme");
+    expectUsageError({"--workload", "OLTP"}, "--protection");
+    expectUsageError({"--machine", "huge"}, "\"huge\"");
+    expectUsageError({"--format", "xml"}, "\"xml\"");
+    expectUsageError({"--events", "0", "--figure", "fig1"}, "--events");
+    expectUsageError({"--seed", "12x", "--figure", "fig1"}, "\"12x\"");
+    expectUsageError({"--protection", "l3"}, "\"l3\"");
+    expectUsageError({"--protection", "l1", "--workload", "NoSuch"},
+                     "\"NoSuch\"");
+    expectUsageError({}, "usage");
+}
+
+} // namespace
+} // namespace tdc

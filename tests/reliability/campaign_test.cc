@@ -1,17 +1,16 @@
 /**
  * @file
- * Unit and determinism-differential tests of the unified campaign
- * driver: the grid executor must assemble tables correctly and be
- * bit-identical at every worker-pool size, and the injection-campaign
- * arms (conventional / 2D / product code) must be pure functions of
- * their parameters with sane coverage verdicts.
+ * Unit and determinism-differential tests of the campaign-grid
+ * executor: it must assemble tables correctly and be bit-identical at
+ * every worker-pool size. (The injection-campaign arms live behind
+ * the ProtectionScheme API now and are covered by the scheme-layer
+ * tests.)
  */
 
 #include <gtest/gtest.h>
 
 #include "common/parallel.hh"
 #include "reliability/campaign.hh"
-#include "reliability/figure_campaigns.hh"
 
 namespace tdc
 {
@@ -72,98 +71,6 @@ TEST(Campaign, GridIdenticalAtEveryThreadCount)
         setParallelThreads(threads);
         EXPECT_EQ(runCampaignGrid(arithmeticGrid()).render(), serial)
             << threads << " threads";
-    }
-}
-
-TEST(Campaign, InjectionCampaignIdenticalAtEveryThreadCount)
-{
-    ThreadGuard guard;
-    const FaultModel fault = FaultModel::cluster(8, 8);
-    const std::vector<InjectionScheme> schemes = {
-        InjectionScheme::conventional(CodeKind::kSecDed, 4, 64),
-        InjectionScheme::twoDim(TwoDimConfig::l1Default()),
-        InjectionScheme::productCode(64, 64),
-    };
-    for (const InjectionScheme &scheme : schemes) {
-        setParallelThreads(1);
-        const InjectionOutcome serial =
-            runInjectionCampaign(scheme, fault, 8, 404);
-        EXPECT_EQ(serial.trials, 8);
-        EXPECT_EQ(serial.corrected + serial.detectedOnly + serial.silent,
-                  serial.trials);
-        for (unsigned threads : {2u, 4u, 8u}) {
-            setParallelThreads(threads);
-            EXPECT_EQ(runInjectionCampaign(scheme, fault, 8, 404), serial)
-                << threads << " threads";
-        }
-    }
-}
-
-TEST(Campaign, InjectionVerdictsMatchCoverageGuarantees)
-{
-    // Single-bit events: every scheme corrects them.
-    const FaultModel single = FaultModel::singleBit();
-    EXPECT_EQ(runInjectionCampaign(
-                  InjectionScheme::conventional(CodeKind::kSecDed, 4, 64),
-                  single, 6, 1)
-                  .verdict(),
-              "corrected");
-    EXPECT_EQ(runInjectionCampaign(
-                  InjectionScheme::twoDim(TwoDimConfig::l1Default()),
-                  single, 6, 1)
-                  .verdict(),
-              "corrected");
-    EXPECT_EQ(runInjectionCampaign(InjectionScheme::productCode(64, 64),
-                                   single, 6, 1)
-                  .verdict(),
-              "corrected");
-
-    // A 2x2 block: in 2D coverage; ambiguous for the product code
-    // (rectangular multi-bit patterns are the classic failure).
-    const FaultModel block = FaultModel::cluster(2, 2);
-    EXPECT_EQ(runInjectionCampaign(
-                  InjectionScheme::twoDim(TwoDimConfig::l1Default()),
-                  block, 6, 2)
-                  .verdict(),
-              "corrected");
-    const InjectionOutcome product = runInjectionCampaign(
-        InjectionScheme::productCode(64, 64), block, 6, 2);
-    EXPECT_EQ(product.corrected, 0);
-
-    // Beyond-coverage clusters on the 2D bank are detected, not
-    // silent (the EDC8 horizontal always sees odd per-word flips).
-    const InjectionOutcome wide = runInjectionCampaign(
-        InjectionScheme::twoDim(TwoDimConfig::l1Default()),
-        FaultModel::cluster(33, 64), 4, 3);
-    EXPECT_EQ(wide.corrected, 0);
-    EXPECT_EQ(wide.silent, 0);
-    EXPECT_EQ(wide.detectedOnly, 4);
-}
-
-TEST(Campaign, Figure3InjectionGridIdenticalAtEveryThreadCount)
-{
-    ThreadGuard guard;
-    setParallelThreads(1);
-    const std::string serial = figure3InjectionCampaign(3, 11).render();
-    for (unsigned threads : {2u, 4u, 8u}) {
-        setParallelThreads(threads);
-        EXPECT_EQ(figure3InjectionCampaign(3, 11).render(), serial)
-            << threads << " threads";
-    }
-}
-
-TEST(Campaign, RelatedWorkAndMonteCarloGridsIdenticalAcrossThreads)
-{
-    ThreadGuard guard;
-    setParallelThreads(1);
-    const std::string related = relatedWorkCampaign(3, 21).render();
-    const std::string yield_mc =
-        figure8YieldMonteCarloCampaign(50, 22).render();
-    for (unsigned threads : {2u, 4u, 8u}) {
-        setParallelThreads(threads);
-        EXPECT_EQ(relatedWorkCampaign(3, 21).render(), related);
-        EXPECT_EQ(figure8YieldMonteCarloCampaign(50, 22).render(),
-                  yield_mc);
     }
 }
 

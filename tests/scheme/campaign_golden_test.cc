@@ -15,7 +15,7 @@
 #include <sstream>
 #include <string>
 
-#include "reliability/figure_campaigns.hh"
+#include "scheme/figure_campaigns.hh"
 
 namespace tdc
 {
@@ -117,12 +117,11 @@ TEST(CampaignGoldenPins, Figure7L1Table)
                         "to SECDED+Intv2 = 100%) ---",
                         CacheGeometry::l1(),
                         {
-                            SchemeSpec::twoDim(CodeKind::kEdc8, 4),
-                            SchemeSpec::conventional(CodeKind::kDecTed,
-                                                     16),
-                            SchemeSpec::conventional(CodeKind::kQecPed, 8),
-                            SchemeSpec::conventional(CodeKind::kOecNed, 4),
-                            SchemeSpec::writeThrough(CodeKind::kEdc8, 4),
+                            "2d:edc8/i4+vp32",
+                            "conv:dected/i16",
+                            "conv:qecped/i8",
+                            "conv:oecned/i4",
+                            "wt:edc8/i4",
                         })
             .render(),
         R"TBL(--- Figure 7(a): 64kB L1 data cache (normalized to SECDED+Intv2 = 100%) ---
@@ -144,11 +143,10 @@ TEST(CampaignGoldenPins, Figure7L2Table)
                         "SECDED+Intv2 = 100%) ---",
                         CacheGeometry::l2(),
                         {
-                            SchemeSpec::twoDim(CodeKind::kEdc16, 2),
-                            SchemeSpec::conventional(CodeKind::kDecTed,
-                                                     16),
-                            SchemeSpec::conventional(CodeKind::kQecPed, 8),
-                            SchemeSpec::conventional(CodeKind::kOecNed, 4),
+                            "2d:edc16/i2+vp32/w256",
+                            "conv:dected/i16",
+                            "conv:qecped/i8",
+                            "conv:oecned/i4",
                         })
             .render(),
         R"TBL(--- Figure 7(b): 4MB L2 cache (normalized to SECDED+Intv2 = 100%) ---

@@ -7,15 +7,8 @@ namespace tdc
 namespace
 {
 
-TEST(SchemeSpec, Labels)
-{
-    EXPECT_EQ(SchemeSpec::conventional(CodeKind::kOecNed, 4).label(),
-              "OECNED+Intv4");
-    EXPECT_EQ(SchemeSpec::twoDim(CodeKind::kEdc8, 4).label(),
-              "2D(EDC8+Intv4,EDC32)");
-    EXPECT_EQ(SchemeSpec::writeThrough(CodeKind::kEdc8, 4).label(),
-              "EDC8+Intv4(Wr-through)");
-}
+// (Scheme display names live in the scheme layer now; see
+// tests/scheme/scheme_test.cc NamesComeFromCodeKindName.)
 
 TEST(SchemeOverhead, TwoDimAreaMatchesFigure3c)
 {
@@ -51,10 +44,11 @@ TEST(SchemeOverhead, TwoDimBeatsConventionalMultiBitSchemes)
     for (const SchemeSpec &c : conv) {
         const SchemeOverhead oc = evaluateScheme(c, l1);
         EXPECT_LT(o2d.codeAreaFraction, oc.codeAreaFraction)
-            << c.label();
+            << codeKindName(c.horizontal);
         EXPECT_LT(o2d.codingLatencyLevels, oc.codingLatencyLevels)
-            << c.label();
-        EXPECT_LT(o2d.dynamicEnergy, oc.dynamicEnergy) << c.label();
+            << codeKindName(c.horizontal);
+        EXPECT_LT(o2d.dynamicEnergy, oc.dynamicEnergy)
+            << codeKindName(c.horizontal);
     }
 }
 
