@@ -1,12 +1,15 @@
 #!/usr/bin/env sh
-# Record a bench_micro_codec trajectory entry (docs/BENCHMARKS.md).
+# Record a google-benchmark trajectory entry (docs/BENCHMARKS.md).
 #
-# Runs the google-benchmark harness in JSON mode and appends one entry
+# Runs a google-benchmark harness in JSON mode and appends one entry
 # (commit, label, per-benchmark real_time ns) to a BENCH_*.json file
 # at the repo root. Usage, from the repo root, after building:
 #
-#   bench/record_bench.sh [--out FILE] [--filter REGEX] [label]
+#   bench/record_bench.sh [--bench NAME] [--out FILE] [--filter REGEX] [label]
 #
+# --bench  harness binary under $BUILD_DIR/bench to run (default:
+#          bench_micro_codec). BENCH_0006_service.json is recorded
+#          with --bench bench_service.
 # --out    trajectory file to append to (default:
 #          BENCH_0002_micro_codec.json)
 # --filter google-benchmark regex selecting which benchmarks to run
@@ -18,12 +21,15 @@ set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${BUILD_DIR:-"$repo_root/build"}
-bench_bin="$build_dir/bench/bench_micro_codec"
+bench_name="bench_micro_codec"
 out_file="$repo_root/BENCH_0002_micro_codec.json"
 filter=""
 
 while [ $# -gt 0 ]; do
     case "$1" in
+      --bench)
+        bench_name=${2:?"--bench requires a harness name argument"}
+        shift 2 ;;
       --out)
         out_arg=${2:?"--out requires a file argument"}
         # Absolute paths pass through; relative ones root at the repo.
@@ -37,6 +43,7 @@ while [ $# -gt 0 ]; do
     esac
 done
 label=${1:-"$(date +%Y-%m-%d) run"}
+bench_bin="$build_dir/bench/$bench_name"
 
 if [ ! -x "$bench_bin" ]; then
     echo "error: $bench_bin not built (cmake --build $build_dir)" >&2
@@ -54,11 +61,11 @@ fi
 
 commit=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)
 
-python3 - "$raw" "$out_file" "$commit" "$label" <<'EOF'
+python3 - "$raw" "$out_file" "$commit" "$label" "$bench_name" <<'EOF'
 import json
 import sys
 
-raw_path, out_path, commit, label = sys.argv[1:5]
+raw_path, out_path, commit, label, bench_name = sys.argv[1:6]
 with open(raw_path) as f:
     run = json.load(f)
 
@@ -83,7 +90,7 @@ try:
     with open(out_path) as f:
         doc = json.load(f)
 except FileNotFoundError:
-    doc = {"benchmark": "bench_micro_codec", "entries": []}
+    doc = {"benchmark": bench_name, "entries": []}
 
 doc["entries"].append(entry)
 with open(out_path, "w") as f:

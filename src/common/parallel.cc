@@ -218,4 +218,16 @@ shardSeed(uint64_t base, uint64_t shard)
     return x ^ (x >> 31);
 }
 
+uint64_t
+shardSeed(uint64_t base, uint64_t domain, uint64_t shard)
+{
+    // Fold the domain through the same finalizer first: the inner mix
+    // scatters (base, domain) pairs over the full 64-bit space, so the
+    // outer per-shard streams of distinct domains are unrelated — and
+    // distinct from the legacy un-domained shardSeed(base, shard)
+    // streams (domain folding never degenerates to the identity).
+    return shardSeed(shardSeed(base ^ 0xd0a1a1d5ca1ab1e5ULL, domain),
+                     shard);
+}
+
 } // namespace tdc

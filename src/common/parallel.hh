@@ -52,6 +52,28 @@ void parallelFor(size_t n, const std::function<void(size_t)> &body);
  */
 uint64_t shardSeed(uint64_t base, uint64_t shard);
 
+/**
+ * Well-known stream domains for the three-argument shardSeed overload.
+ * Two independent consumers of one campaign seed (say, fault-injection
+ * events and background-scrub scheduling) that both count 0, 1, 2, ...
+ * would collide stream-for-stream if they derived from the plain
+ * two-argument shardSeed — every event i would see the very bytes
+ * "random" scrub decision i saw. Each consumer class therefore names
+ * its own domain and derives via shardSeed(base, domain, counter).
+ */
+inline constexpr uint64_t kSeedDomainInjection = 0x496e6a656374ULL;
+inline constexpr uint64_t kSeedDomainScrub = 0x5363727562ULL;
+inline constexpr uint64_t kSeedDomainService = 0x53657276696365ULL;
+inline constexpr uint64_t kSeedDomainWorkload = 0x576f726b6c6fULL;
+
+/**
+ * Domain-separated stream derivation: like shardSeed(base, shard) but
+ * namespaced by @p domain, so counters in different domains never
+ * collide even when they share @p base and @p shard. Use one of the
+ * kSeedDomain* constants (or any fixed literal) per consumer class.
+ */
+uint64_t shardSeed(uint64_t base, uint64_t domain, uint64_t shard);
+
 } // namespace tdc
 
 #endif // TDC_COMMON_PARALLEL_HH

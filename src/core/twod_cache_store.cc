@@ -131,7 +131,10 @@ TwoDimCacheStore::injectAndRecover(const std::vector<BankFaultSpec> &events,
     }
     std::vector<size_t> hit;
     for (size_t i = 0; i < events.size(); ++i) {
-        Rng rng(shardSeed(seed, i));
+        // Injection draws from its own seed domain: a campaign that
+        // also counts scrub (or any other) events 0, 1, 2, ... off the
+        // same base seed must never share streams with the injector.
+        Rng rng(shardSeed(seed, kSeedDomainInjection, i));
         FaultInjector inj(rng);
         inj.inject(bankArray[events[i].bank]->cells(), events[i].fault);
         hit.push_back(events[i].bank);

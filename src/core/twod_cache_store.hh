@@ -102,7 +102,10 @@ class TwoDimCacheStore
 
     /**
      * Batch fault-injection campaign step: realize every event (event i
-     * draws its randomness from shardSeed(seed, i); same-bank events
+     * draws its randomness from the injection-domain stream
+     * shardSeed(seed, kSeedDomainInjection, i), so campaigns that also
+     * derive per-event streams from the same base seed — e.g. scrub
+     * scheduling — can never collide with it; same-bank events
      * apply in spec order), then run the recovery sweep on exactly the
      * banks that were hit, bank-parallel. The outcome is a pure
      * function of (store contents, events, seed).

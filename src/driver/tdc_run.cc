@@ -10,6 +10,8 @@
 #include "cpu/ipc_campaign.hh"
 #include "scheme/figure_campaigns.hh"
 #include "scheme/scheme.hh"
+#include "service/cache_service.hh"
+#include "service/request_gen.hh"
 
 namespace tdc
 {
@@ -194,6 +196,11 @@ const char *const kUsage =
     "  tdc_run --machine fat|lean --protection <spec> [...]\n"
     "          [--workload <name> ...] [--cycles N] [--seed N]\n"
     "                                        custom IPC-loss grid\n"
+    "  tdc_run --serve <request-spec> [--scheme 2d:...] [--fault <spec>]\n"
+    "          [--shards N] [--banks N] [--ports N] [--steal-window N]\n"
+    "          [--scrub-interval N] [--fault-interval N]\n"
+    "          [--record-trace <path>] [--seed N]\n"
+    "                                        concurrent cache service\n"
     "  tdc_run --list-figures | --list-schemes | --list-faults\n"
     "\n"
     "options:\n"
@@ -205,10 +212,25 @@ const char *const kUsage =
     "                            (default: 150000)\n"
     "  --seed N                  base campaign seed (default: 12345)\n"
     "\n"
+    "serve options:\n"
+    "  --shards N                concurrent service shards (default: 4)\n"
+    "  --banks N                 cache banks per shard (default: 4)\n"
+    "  --ports N                 port slots per cycle (default: 1)\n"
+    "  --steal-window N          RBW port-steal window, 0 disables\n"
+    "                            (default: 8)\n"
+    "  --scrub-interval N        ticks between background scrub steps,\n"
+    "                            0 disables (default: 0)\n"
+    "  --fault-interval N        ticks between injected fault events,\n"
+    "                            0 disables (default: 0)\n"
+    "  --record-trace <path>     save the served stream as a replayable\n"
+    "                            binary trace\n"
+    "\n"
     "scheme specs (see --list-schemes):   conv:secded/i4,\n"
     "  2d:edc8/i4+vp32, wt:edc8/i4, prod:256x256, ...\n"
     "fault specs (see --list-faults):     single, 32x32, 16x16@0.5,\n"
-    "  row:32, col:8, fullrow, fullcol\n";
+    "  row:32, col:8, fullrow, fullcol\n"
+    "request specs (--serve):             uniform/n1e6/w30,\n"
+    "  zipf90/n1e5, burst128/n1e5/g512, trace:<path>\n";
 
 struct CliOptions
 {
@@ -223,6 +245,15 @@ struct CliOptions
     double events = 100.0;
     double cycles = 150000.0;
     uint64_t seed = 12345;
+    bool serve = false;
+    std::string serveSpec;
+    std::string recordTrace;
+    size_t shards = 4;
+    size_t banks = 4;
+    unsigned ports = 1;
+    unsigned stealWindow = 8;
+    uint64_t scrubInterval = 0;
+    uint64_t faultInterval = 0;
     bool listFigures = false;
     bool listSchemes = false;
     bool listFaults = false;
@@ -245,6 +276,18 @@ parseCount(const std::string &flag, const std::string &value, double max)
         v > max)
         usageError(flag + " expects a count in [1, " +
                    std::to_string(size_t(max)) + "], got \"" + value +
+                   "\"");
+    return v;
+}
+
+/** Parse a plain non-negative integer (0 allowed — "disabled"). */
+uint64_t
+parseU64(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const uint64_t v = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size())
+        usageError(flag + " expects an unsigned integer, got \"" + value +
                    "\"");
     return v;
 }
@@ -302,6 +345,23 @@ parseCli(const std::vector<std::string> &args)
             if (v.empty() || end != v.c_str() + v.size())
                 usageError("--seed expects an unsigned integer, got \"" +
                            v + "\"");
+        } else if (arg == "--serve") {
+            opt.serve = true;
+            opt.serveSpec = value(i);
+        } else if (arg == "--record-trace") {
+            opt.recordTrace = value(i);
+        } else if (arg == "--shards") {
+            opt.shards = size_t(parseCount(arg, value(i), 4096));
+        } else if (arg == "--banks") {
+            opt.banks = size_t(parseCount(arg, value(i), 4096));
+        } else if (arg == "--ports") {
+            opt.ports = unsigned(parseCount(arg, value(i), 64));
+        } else if (arg == "--steal-window") {
+            opt.stealWindow = unsigned(parseU64(arg, value(i)));
+        } else if (arg == "--scrub-interval") {
+            opt.scrubInterval = parseU64(arg, value(i));
+        } else if (arg == "--fault-interval") {
+            opt.faultInterval = parseU64(arg, value(i));
         } else if (arg == "--list-figures") {
             opt.listFigures = true;
         } else if (arg == "--list-schemes") {
@@ -391,7 +451,7 @@ tdcRun(const std::vector<std::string> &args, std::string &out,
     }
 
     if (opt.figures.empty() && opt.schemes.empty() &&
-        opt.protections.empty()) {
+        opt.protections.empty() && !opt.serve) {
         err += kUsage;
         return 2;
     }
@@ -400,6 +460,61 @@ tdcRun(const std::vector<std::string> &args, std::string &out,
         setParallelThreads(unsigned(opt.threads));
 
     RunContext ctx(opt.format);
+    if (opt.serve) {
+        try {
+            if (!opt.figures.empty() || !opt.protections.empty())
+                usageError("--serve is exclusive with --figure and "
+                           "--protection");
+            if (opt.schemes.size() > 1)
+                usageError("--serve accepts at most one --scheme");
+            if (opt.faults.size() > 1)
+                usageError("--serve accepts at most one --fault");
+
+            ServiceConfig cfg;
+            cfg.bank = parseTwoDimConfig(
+                opt.schemes.empty() ? "2d:edc8/i4+vp32"
+                                    : opt.schemes.front());
+            cfg.shards = opt.shards;
+            cfg.banksPerShard = opt.banks;
+            cfg.ports = opt.ports;
+            cfg.stealWindow = opt.stealWindow;
+            cfg.scrubInterval = opt.scrubInterval;
+            cfg.faultInterval = opt.faultInterval;
+            cfg.seed = opt.seed;
+            if (!opt.faults.empty())
+                cfg.fault = parseFaultModel(opt.faults.front());
+
+            const RequestStreamSpec stream =
+                parseRequestSpec(opt.serveSpec);
+            const std::vector<ServiceRequest> requests =
+                buildRequests(stream, cfg.totalWords(), opt.seed);
+            if (!opt.recordTrace.empty())
+                writeTrace(opt.recordTrace, requests);
+
+            const CacheService service(cfg);
+            const ServiceReport report = service.serve(requests);
+
+            ctx.prosef("serve %s: %zu requests, %zu shards x %zu banks "
+                       "(%s), %llu ticks, %.1f req/ktick\n\n",
+                       stream.spec().c_str(), requests.size(),
+                       cfg.shards, cfg.banksPerShard,
+                       cfg.bank.describe().c_str(),
+                       (unsigned long long)report.ticks,
+                       report.throughputPerKTick());
+            ctx.table(serviceLatencyTable(report),
+                      "service latency: " + stream.spec());
+            ctx.table(serviceReliabilityTable(report),
+                      "service reliability: " + stream.spec());
+        } catch (const std::invalid_argument &e) {
+            err += std::string("tdc_run: ") + e.what() + "\n";
+            return 2;
+        } catch (const std::exception &e) {
+            err += std::string("tdc_run: ") + e.what() + "\n";
+            return 1;
+        }
+        out += ctx.str();
+        return 0;
+    }
     try {
         for (const std::string &key : opt.figures) {
             bool found = false;

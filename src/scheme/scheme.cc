@@ -441,15 +441,8 @@ builtinFamilies()
          "vertical parity",
          {"2d:edc8/i4+vp32", "2d:edc16/i2+vp32/w256",
           "2d:secded/i4+vp32"},
-         [](const std::string &body, const std::string &spec) {
-             const BodyParams p = parseBody(body, spec, true);
-             TwoDimConfig cfg;
-             cfg.horizontalKind = p.code;
-             cfg.interleaveDegree = p.degree;
-             cfg.wordBits = p.wordBits;
-             cfg.dataRows = p.rows;
-             cfg.verticalParityRows = p.verticalRows;
-             return makeTwoDimScheme(cfg);
+         [](const std::string &, const std::string &spec) {
+             return makeTwoDimScheme(parseTwoDimConfig(spec));
          }});
 
     families.push_back(
@@ -524,6 +517,28 @@ parseScheme(const std::string &spec)
     }
     throw std::invalid_argument("scheme spec \"" + spec +
                                 "\": unknown family \"" + key + "\"");
+}
+
+TwoDimConfig
+parseTwoDimConfig(const std::string &spec)
+{
+    const size_t colon = spec.find(':');
+    if (colon == std::string::npos)
+        throw std::invalid_argument("scheme spec \"" + spec +
+                                    "\": missing \":\" after the family");
+    if (spec.substr(0, colon) != "2d")
+        throw std::invalid_argument(
+            "scheme spec \"" + spec + "\": family \"" +
+            spec.substr(0, colon) +
+            "\" has no bank configuration (need \"2d\")");
+    const BodyParams p = parseBody(spec.substr(colon + 1), spec, true);
+    TwoDimConfig cfg;
+    cfg.horizontalKind = p.code;
+    cfg.interleaveDegree = p.degree;
+    cfg.wordBits = p.wordBits;
+    cfg.dataRows = p.rows;
+    cfg.verticalParityRows = p.verticalRows;
+    return cfg;
 }
 
 std::vector<std::string>

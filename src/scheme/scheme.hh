@@ -155,6 +155,15 @@ SchemePtr parseScheme(const std::string &spec);
 /** Every registered family's canonical examples (round-trip axis). */
 std::vector<std::string> exampleSchemeSpecs();
 
+/**
+ * Parse a "2d:" spec straight to its bank configuration — for callers
+ * that need the raw TwoDimConfig (e.g. the cache-service front end)
+ * rather than the ProtectionScheme wrapper. Throws
+ * std::invalid_argument (offending token quoted) on a malformed body
+ * or a non-"2d" family.
+ */
+TwoDimConfig parseTwoDimConfig(const std::string &spec);
+
 // --- Built-in family constructors (the registry uses these too) -----
 
 /** conv: per-word @p code, @p degree-way interleaved. */

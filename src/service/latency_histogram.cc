@@ -1,0 +1,64 @@
+#include "service/latency_histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdc
+{
+
+void
+LatencyHistogram::add(uint64_t cycles)
+{
+    if (cycles >= bins.size())
+        bins.resize(cycles + 1, 0);
+    ++bins[cycles];
+    ++total;
+    weighted += cycles;
+}
+
+LatencyHistogram &
+LatencyHistogram::operator+=(const LatencyHistogram &other)
+{
+    if (other.bins.size() > bins.size())
+        bins.resize(other.bins.size(), 0);
+    for (size_t i = 0; i < other.bins.size(); ++i)
+        bins[i] += other.bins[i];
+    total += other.total;
+    weighted += other.weighted;
+    return *this;
+}
+
+uint64_t
+LatencyHistogram::max() const
+{
+    for (size_t i = bins.size(); i > 0; --i) {
+        if (bins[i - 1] != 0)
+            return i - 1;
+    }
+    return 0;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return total == 0 ? 0.0 : double(weighted) / double(total);
+}
+
+uint64_t
+LatencyHistogram::percentile(double p) const
+{
+    if (total == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    const uint64_t target =
+        std::max<uint64_t>(1, uint64_t(std::ceil(p * double(total))));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < bins.size(); ++i) {
+        seen += bins[i];
+        if (seen >= target)
+            return i;
+    }
+    return max();
+}
+
+} // namespace tdc

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Exact integer-latency histogram for the cache service: per-cycle
+ * counts, so percentiles are exact order statistics and two runs are
+ * comparable bit-for-bit (no bucketing noise, no floating state).
+ */
+
+#ifndef TDC_SERVICE_LATENCY_HISTOGRAM_HH
+#define TDC_SERVICE_LATENCY_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tdc
+{
+
+/**
+ * Counts of observed integer latencies. Merging is field-wise
+ * addition, so per-shard histograms reduced in shard order are
+ * independent of worker scheduling.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Record one latency observation of @p cycles. */
+    void add(uint64_t cycles);
+
+    /** Merge another histogram (per-latency counts summed). */
+    LatencyHistogram &operator+=(const LatencyHistogram &other);
+
+    uint64_t count() const { return total; }
+    uint64_t sum() const { return weighted; }
+    uint64_t max() const;
+    double mean() const;
+
+    /**
+     * Exact percentile: the smallest latency L such that at least
+     * ceil(p * count()) observations are <= L. @p p in (0, 1];
+     * returns 0 on an empty histogram.
+     */
+    uint64_t percentile(double p) const;
+
+    uint64_t p50() const { return percentile(0.50); }
+    uint64_t p99() const { return percentile(0.99); }
+    uint64_t p999() const { return percentile(0.999); }
+
+    /** Raw per-latency counts (index = latency in cycles). */
+    const std::vector<uint64_t> &counts() const { return bins; }
+
+    bool operator==(const LatencyHistogram &) const = default;
+
+  private:
+    std::vector<uint64_t> bins; ///< bins[L] = observations at L cycles
+    uint64_t total = 0;
+    uint64_t weighted = 0;
+};
+
+} // namespace tdc
+
+#endif // TDC_SERVICE_LATENCY_HISTOGRAM_HH

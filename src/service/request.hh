@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The request-level workload unit of the cache service: one timestamped
+ * read or write aimed at a flat word address, plus the replayable
+ * binary trace format (recorder/loader) that pins a stream of them to
+ * disk byte-for-byte.
+ */
+
+#ifndef TDC_SERVICE_REQUEST_HH
+#define TDC_SERVICE_REQUEST_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/bit_vector.hh"
+
+namespace tdc
+{
+
+/** Request kind. */
+enum class RequestOp : uint8_t
+{
+    kRead = 0,
+    kWrite = 1,
+};
+
+/**
+ * One timestamped cache-service request. Addresses are flat word
+ * indices into the served store; write payloads are carried as a
+ * 64-bit value seed expanded to the store's word width by
+ * expandValue(), so a request is 25 bytes on the wire regardless of
+ * word size.
+ */
+struct ServiceRequest
+{
+    uint64_t tick = 0;    ///< arrival time, cycles
+    RequestOp op = RequestOp::kRead;
+    uint64_t address = 0; ///< flat word index
+    uint64_t value = 0;   ///< write payload seed (ignored for reads)
+
+    bool operator==(const ServiceRequest &) const = default;
+};
+
+/**
+ * Expand a 64-bit payload seed to a @p bits -wide stored word. The
+ * expansion is a pure function of (value, bits), so golden models and
+ * the store agree on every byte without shipping wide payloads.
+ */
+BitVector expandValue(uint64_t value, size_t bits);
+
+/**
+ * Binary trace format, version 1: a 16-byte header ("TDCTRACE",
+ * version u32, count u32) followed by one packed little-endian record
+ * per request (tick u64, op u8, address u64, value u64 = 25 bytes).
+ * Fixed little-endian byte order makes recorded traces portable and
+ * the round trip byte-identical.
+ */
+
+/** Write @p requests to @p path. @throws std::runtime_error on I/O. */
+void writeTrace(const std::string &path,
+                const std::vector<ServiceRequest> &requests);
+
+/** Serialize to a stream (the writeTrace backend). */
+void writeTrace(std::ostream &out,
+                const std::vector<ServiceRequest> &requests);
+
+/**
+ * Load a recorded trace. @throws std::runtime_error when the file is
+ * unreadable, and std::invalid_argument (offending detail quoted) on a
+ * bad magic, unsupported version, truncated body, or malformed record.
+ */
+std::vector<ServiceRequest> readTrace(const std::string &path);
+
+/** Deserialize from a stream (the readTrace backend). */
+std::vector<ServiceRequest> readTrace(std::istream &in);
+
+} // namespace tdc
+
+#endif // TDC_SERVICE_REQUEST_HH

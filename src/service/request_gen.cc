@@ -1,0 +1,209 @@
+#include "service/request_gen.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/parallel.hh"
+#include "common/rng.hh"
+
+namespace tdc
+{
+
+namespace
+{
+
+[[noreturn]] void
+genError(const std::string &spec, const std::string &what)
+{
+    throw std::invalid_argument("request spec \"" + spec + "\": " + what);
+}
+
+/** Decimal digits of @p digits (from @p token), range-checked. */
+uint64_t
+parseDigits(const std::string &spec, const std::string &token,
+            const std::string &digits, uint64_t lo, uint64_t hi)
+{
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        genError(spec, "malformed number in \"" + token + "\"");
+    const unsigned long long v = std::strtoull(digits.c_str(), nullptr, 10);
+    if (v < lo || v > hi)
+        genError(spec, "value out of range [" + std::to_string(lo) + ".." +
+                           std::to_string(hi) + "] in \"" + token + "\"");
+    return v;
+}
+
+/** Count that may use scientific notation ("1e6"), as a whole number. */
+uint64_t
+parseCount(const std::string &spec, const std::string &token,
+           const std::string &text, double lo, double hi)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size() ||
+        v != std::floor(v) || v < lo || v > hi)
+        genError(spec, "expected a count in [" +
+                           std::to_string(uint64_t(lo)) + ".." +
+                           std::to_string(uint64_t(hi)) + "] in \"" +
+                           token + "\"");
+    return uint64_t(v);
+}
+
+} // namespace
+
+std::string
+RequestStreamSpec::spec() const
+{
+    if (dist == RequestDist::kTrace)
+        return "trace:" + tracePath;
+
+    std::string out;
+    switch (dist) {
+      case RequestDist::kUniform: out = "uniform"; break;
+      case RequestDist::kZipf:
+        out = "zipf" + std::to_string(zipfHundredths);
+        break;
+      case RequestDist::kBurst:
+        out = "burst" + std::to_string(burstLen);
+        break;
+      case RequestDist::kTrace: break; // handled above
+    }
+    out += "/n" + std::to_string(count);
+    out += "/w" + std::to_string(writePct);
+    if (dist == RequestDist::kBurst && burstGap != 0)
+        out += "/g" + std::to_string(burstGap);
+    return out;
+}
+
+RequestStreamSpec
+parseRequestSpec(const std::string &spec)
+{
+    if (spec.rfind("trace:", 0) == 0) {
+        RequestStreamSpec s;
+        s.dist = RequestDist::kTrace;
+        s.tracePath = spec.substr(6);
+        if (s.tracePath.empty())
+            genError(spec, "empty path after \"trace:\"");
+        return s;
+    }
+
+    // Tokens separate on '/'; the first names the distribution.
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : spec) {
+        if (c == '/') {
+            tokens.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    tokens.push_back(current);
+
+    RequestStreamSpec s;
+    const std::string &head = tokens.front();
+    if (head == "uniform") {
+        s.dist = RequestDist::kUniform;
+    } else if (head.rfind("zipf", 0) == 0) {
+        s.dist = RequestDist::kZipf;
+        if (head.size() > 4)
+            s.zipfHundredths = unsigned(
+                parseDigits(spec, head, head.substr(4), 1, 99));
+    } else if (head.rfind("burst", 0) == 0) {
+        s.dist = RequestDist::kBurst;
+        if (head.size() > 5)
+            s.burstLen = size_t(
+                parseDigits(spec, head, head.substr(5), 1, 1u << 20));
+    } else {
+        genError(spec, "unknown distribution \"" + head +
+                           "\" (uniform, zipf, burst, trace:<path>)");
+    }
+
+    for (size_t i = 1; i < tokens.size(); ++i) {
+        const std::string &tok = tokens[i];
+        if (tok.rfind("n", 0) == 0) {
+            s.count = size_t(parseCount(spec, tok, tok.substr(1), 1, 1e9));
+        } else if (tok.rfind("w", 0) == 0) {
+            s.writePct =
+                unsigned(parseDigits(spec, tok, tok.substr(1), 0, 100));
+        } else if (tok.rfind("b", 0) == 0) {
+            if (s.dist != RequestDist::kBurst)
+                genError(spec, "\"" + tok +
+                                   "\" only applies to burst streams");
+            s.burstLen = size_t(
+                parseDigits(spec, tok, tok.substr(1), 1, 1u << 20));
+        } else if (tok.rfind("g", 0) == 0) {
+            if (s.dist != RequestDist::kBurst)
+                genError(spec, "\"" + tok +
+                                   "\" only applies to burst streams");
+            s.burstGap = size_t(
+                parseDigits(spec, tok, tok.substr(1), 1, 1u << 30));
+        } else {
+            genError(spec, "unknown token \"" + tok + "\"");
+        }
+    }
+    return s;
+}
+
+std::vector<ServiceRequest>
+buildRequests(const RequestStreamSpec &spec, size_t words, uint64_t seed)
+{
+    if (spec.dist == RequestDist::kTrace)
+        return readTrace(spec.tracePath);
+    if (words == 0)
+        throw std::invalid_argument(
+            "buildRequests: generator needs a nonzero address space");
+
+    const size_t burst_gap = spec.burstGap != 0 ? spec.burstGap
+                                                : 4 * spec.burstLen;
+    // Power-law skew exponent for the zipf approximation: drawing
+    // u ~ U[0,1) and taking floor(words * u^k) concentrates mass near
+    // address 0 with Zipf-like tail weight for k = 1/(1-theta).
+    const double zipf_k =
+        1.0 / (1.0 - double(spec.zipfHundredths) / 100.0);
+
+    std::vector<ServiceRequest> requests(spec.count);
+    // Request i is a pure function of its own workload-domain stream,
+    // so generation itself can shard over the pool (and the stream
+    // never collides with injection/scrub consumers of the same seed).
+    parallelFor(spec.count, [&](size_t i) {
+        Rng rng(shardSeed(seed, kSeedDomainWorkload, i));
+        ServiceRequest &r = requests[i];
+        switch (spec.dist) {
+          case RequestDist::kUniform:
+            r.tick = i;
+            r.address = rng.nextBelow(words);
+            break;
+          case RequestDist::kZipf: {
+            r.tick = i;
+            const size_t rank =
+                size_t(double(words) * std::pow(rng.nextDouble(), zipf_k));
+            // Scatter hot ranks over the space (and over banks/shards)
+            // with a fixed mixing stride coprime to any power of two.
+            r.address =
+                (std::min(rank, words - 1) * 0x9e3779b97f4a7c15ULL) %
+                words;
+            break;
+          }
+          case RequestDist::kBurst: {
+            const size_t burst = i / spec.burstLen;
+            const size_t offset = i % spec.burstLen;
+            // The burst base address is a pure function of the burst
+            // index: every request of the burst derives it afresh.
+            Rng base_rng(shardSeed(seed, kSeedDomainWorkload + 1, burst));
+            r.tick = burst * burst_gap + offset;
+            r.address = (base_rng.nextBelow(words) + offset) % words;
+            break;
+          }
+          case RequestDist::kTrace:
+            break; // unreachable
+        }
+        r.op = rng.nextBelow(100) < spec.writePct ? RequestOp::kWrite
+                                                  : RequestOp::kRead;
+        r.value = rng.next();
+    });
+    return requests;
+}
+
+} // namespace tdc

@@ -192,9 +192,10 @@ TEST(CacheStoreProperty, InjectAndRecoverMatchesHandDrivenOracle)
             specs.push_back({hit[i], fault});
         }
 
-        // Replay the documented seeding contract on the oracles first.
+        // Replay the documented seeding contract on the oracles first:
+        // event i draws from the injection-domain stream.
         for (size_t i = 0; i < specs.size(); ++i) {
-            Rng event_rng(shardSeed(seed, i));
+            Rng event_rng(shardSeed(seed, kSeedDomainInjection, i));
             FaultInjector inj(event_rng);
             inj.inject(m.oracle[specs[i].bank]->cells(), specs[i].fault);
         }

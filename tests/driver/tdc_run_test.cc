@@ -206,5 +206,94 @@ TEST(TdcRun, UsageErrorsExitTwoWithQuotedToken)
     expectUsageError({}, "usage");
 }
 
+TEST(TdcRun, ServeEmitsLatencyAndReliabilityTables)
+{
+    const std::string out = runOk({"--serve", "uniform/n4000/w30",
+                                   "--scrub-interval", "17",
+                                   "--fault-interval", "501"});
+    EXPECT_NE(out.find("serve uniform/n4000/w30"), std::string::npos);
+    EXPECT_NE(out.find("RBW stolen"), std::string::npos);
+    EXPECT_NE(out.find("p999"), std::string::npos);
+    EXPECT_NE(out.find("ScrubSteps"), std::string::npos);
+    EXPECT_NE(out.find("all"), std::string::npos);
+}
+
+TEST(TdcRun, ServeIsThreadCountInvariant)
+{
+    ThreadGuard guard;
+    const std::vector<std::string> args = {
+        "--serve", "zipf90/n6000/w40", "--scrub-interval", "13",
+        "--fault-interval", "301", "--format", "json"};
+    std::vector<std::string> one = args, eight = args;
+    one.insert(one.end(), {"--threads", "1"});
+    eight.insert(eight.end(), {"--threads", "8"});
+    EXPECT_EQ(runOk(one), runOk(eight));
+}
+
+TEST(TdcRun, ServeRecordsAReplayableTrace)
+{
+    const std::string path =
+        testing::TempDir() + "tdc_run_serve_trace.bin";
+    const std::string recorded =
+        runOk({"--serve", "burst32/n3000/w50", "--record-trace", path,
+               "--format", "csv"});
+    const std::string replayed =
+        runOk({"--serve", "trace:" + path, "--format", "csv"});
+    // Identical data rows; only the spec named in the titles differs.
+    const auto stripTitles = [](const std::string &text) {
+        std::string kept;
+        size_t start = 0;
+        while (start < text.size()) {
+            size_t end = text.find('\n', start);
+            if (end == std::string::npos)
+                end = text.size();
+            if (text[start] != '#')
+                kept += text.substr(start, end - start) + "\n";
+            start = end + 1;
+        }
+        return kept;
+    };
+    EXPECT_EQ(stripTitles(recorded), stripTitles(replayed));
+    std::remove(path.c_str());
+}
+
+TEST(TdcRun, ServeUsageErrorsExitTwoWithQuotedToken)
+{
+    const auto expectUsageError = [](const std::vector<std::string> &args,
+                                     const std::string &needle) {
+        std::string out, err;
+        EXPECT_EQ(tdcRun(args, out, err), 2);
+        EXPECT_NE(err.find(needle), std::string::npos) << err;
+        EXPECT_TRUE(out.empty()) << out;
+    };
+    expectUsageError({"--serve", "gauss/n100"}, "\"gauss\"");
+    expectUsageError({"--serve", "uniform/n0"}, "\"n0\"");
+    expectUsageError({"--serve", "uniform/q4"}, "\"q4\"");
+    expectUsageError({"--serve", "trace:"}, "trace:");
+    expectUsageError({"--serve", "uniform", "--scheme", "conv:secded/i4"},
+                     "2d");
+    expectUsageError({"--serve", "uniform", "--scheme", "2d:edc8/i0+vp32"},
+                     "\"i0\"");
+    expectUsageError({"--serve", "uniform", "--fault", "0x4"}, "\"0x4\"");
+    expectUsageError({"--serve", "uniform", "--figure", "fig1"},
+                     "--serve");
+    expectUsageError({"--serve", "uniform", "--protection", "l1"},
+                     "--serve");
+    expectUsageError({"--serve", "uniform", "--scheme", "2d:edc8/i4+vp32",
+                      "--scheme", "2d:edc8/i2+vp32"},
+                     "at most one");
+    expectUsageError({"--serve", "uniform", "--shards", "0"}, "--shards");
+    expectUsageError({"--serve", "uniform", "--scrub-interval", "x"},
+                     "--scrub-interval");
+}
+
+TEST(TdcRun, ServeMissingTraceFileExitsOne)
+{
+    std::string out, err;
+    EXPECT_EQ(tdcRun({"--serve", "trace:/no/such/trace.bin"}, out, err),
+              1);
+    EXPECT_NE(err.find("/no/such/trace.bin"), std::string::npos) << err;
+}
+
 } // namespace
 } // namespace tdc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Exact-percentile semantics of the integer latency histogram: p50 /
+ * p99 / p999 come from cumulative counts over per-cycle bins (never
+ * interpolation), merging shard histograms is equivalent to observing
+ * the union stream, and equality is bin-exact — the property the
+ * service determinism pins lean on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "service/latency_histogram.hh"
+
+namespace tdc
+{
+namespace
+{
+
+TEST(LatencyHistogram, EmptyIsAllZero)
+{
+    const LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.p50(), 0u);
+    EXPECT_EQ(h.p999(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesAreExactOrderStatistics)
+{
+    // 1..100, once each: pXX is exactly XX.
+    LatencyHistogram h;
+    for (uint64_t v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.p50(), 50u);
+    EXPECT_EQ(h.p99(), 99u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+    EXPECT_EQ(h.percentile(0.0), 1u); // never below the minimum sample
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_EQ(h.mean(), 50.5);
+}
+
+TEST(LatencyHistogram, TailPercentileSeesTheRareSample)
+{
+    // 1999 fast + 1 slow: p999 must already surface the outlier
+    // (ceil(0.999 * 2000) = 1998 < 2000 keeps it at the fast bin,
+    // 2999 fast + 1 slow pushes p999 over).
+    LatencyHistogram h;
+    for (int i = 0; i < 1999; ++i)
+        h.add(2);
+    h.add(500);
+    EXPECT_EQ(h.p50(), 2u);
+    EXPECT_EQ(h.p999(), 2u);
+    EXPECT_EQ(h.percentile(1.0), 500u);
+    EXPECT_EQ(h.max(), 500u);
+}
+
+TEST(LatencyHistogram, MergeEqualsUnionStream)
+{
+    LatencyHistogram a, b, both;
+    for (uint64_t v : {3u, 7u, 7u, 90u}) {
+        a.add(v);
+        both.add(v);
+    }
+    for (uint64_t v : {1u, 7u, 200u}) {
+        b.add(v);
+        both.add(v);
+    }
+    a += b;
+    EXPECT_EQ(a, both);
+    EXPECT_EQ(a.count(), 7u);
+    EXPECT_EQ(a.max(), 200u);
+}
+
+TEST(LatencyHistogram, EqualStreamsCompareEqual)
+{
+    LatencyHistogram a, b;
+    for (uint64_t v : {5u, 9u, 5u}) {
+        a.add(v);
+        b.add(v);
+    }
+    EXPECT_EQ(a, b);
+    b.add(5);
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace tdc
