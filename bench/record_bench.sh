@@ -15,6 +15,15 @@
 # --filter google-benchmark regex selecting which benchmarks to run
 #          and record (default: all). BENCH_0003_bch_decode.json is
 #          recorded with --filter 'BM_DecodeDirty64|BM_RecoverySweep'.
+# --compare-simd
+#          run the same harness+filter twice in one invocation — first
+#          with TDC_SIMD=scalar forced, then with the runtime-dispatched
+#          backend — and append BOTH entries (labels suffixed
+#          "(scalar)" / "(dispatched)") to the same trajectory file, so
+#          a before/after pair always shares one build and one commit.
+#          BENCH_0007_simd_codec.json is recorded with
+#            bench/record_bench.sh --bench bench_simd_codec \
+#              --out BENCH_0007_simd_codec.json --compare-simd [label]
 #
 # The build directory can be overridden with BUILD_DIR (default: build).
 set -eu
@@ -39,6 +48,7 @@ while [ $# -gt 0 ]; do
         esac
         shift 2 ;;
       --filter) filter=${2:?"--filter requires a regex argument"}; shift 2 ;;
+      --compare-simd) compare_simd=1; shift ;;
       *) break ;;
     esac
 done
@@ -52,16 +62,26 @@ fi
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-if [ -n "$filter" ]; then
-    "$bench_bin" --benchmark_filter="$filter" \
-                 --benchmark_format=json >"$raw"
-else
-    "$bench_bin" --benchmark_format=json >"$raw"
-fi
-
 commit=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)
 
-python3 - "$raw" "$out_file" "$commit" "$label" "$bench_name" <<'EOF'
+# run_bench SIMD_MODE: run the harness into $raw. SIMD_MODE is a
+# TDC_SIMD value to force, or "" to leave dispatch to the runtime.
+run_bench() {
+    if [ -n "$1" ]; then
+        export TDC_SIMD="$1"
+    else
+        unset TDC_SIMD || true
+    fi
+    if [ -n "$filter" ]; then
+        "$bench_bin" --benchmark_filter="$filter" \
+                     --benchmark_format=json >"$raw"
+    else
+        "$bench_bin" --benchmark_format=json >"$raw"
+    fi
+}
+
+append_entry() {
+    python3 - "$raw" "$out_file" "$commit" "$1" "$bench_name" <<'EOF'
 import json
 import sys
 
@@ -99,3 +119,14 @@ with open(out_path, "w") as f:
 print(f"appended entry '{label}' ({commit}) with {len(results)} results "
       f"to {out_path}")
 EOF
+}
+
+if [ "${compare_simd:-0}" = 1 ]; then
+    run_bench scalar
+    append_entry "$label (scalar)"
+    run_bench ""
+    append_entry "$label (dispatched)"
+else
+    run_bench "${TDC_SIMD:-}"
+    append_entry "$label"
+fi

@@ -1,5 +1,6 @@
 #include "array/interleave.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace tdc
@@ -10,8 +11,17 @@ InterleaveMap::InterleaveMap(size_t word_bits, size_t degree)
 {
     assert(wordWidth > 0);
     assert(intvDegree > 0);
-    if (intvDegree <= 64 && 64 % intvDegree == 0)
-        plan.emplace(strideMask64(intvDegree));
+    if (intvDegree <= 64) {
+        // One plan per in-word phase. For degrees dividing 64 every
+        // row word uses phase == slot; for the others the phase walks
+        // by phaseStep per word, and the cache holds all of them (at
+        // most degree plans, shared by every slot).
+        const uint64_t base = strideMask64(intvDegree);
+        plans.reserve(intvDegree);
+        for (size_t p = 0; p < intvDegree; ++p)
+            plans.emplace_back(base << p);
+        phaseStep = (intvDegree - 64 % intvDegree) % intvDegree;
+    }
 }
 
 size_t
@@ -39,16 +49,17 @@ InterleaveMap::extractWordInto(ConstBitSpan row, size_t slot,
     if (word.size() != wordWidth)
         word = BitVector(wordWidth);
 
-    if (!plan) {
+    if (plans.empty()) {
         extractWordSlow(row, slot, word);
         return;
     }
 
     // Word-parallel gather: row word i holds columns [i*64, i*64+64);
     // the ones belonging to this slot sit at in-word positions
-    // p == slot (mod degree). Shifting right by slot aligns them to
-    // the stride mask, and the compress plan packs them to the low
-    // end in six shift/AND/OR stages.
+    // p == phase (mod degree), where the phase starts at the slot
+    // index and advances by phaseStep per word. The phase's compress
+    // plan packs them to the low end (one PEXT, or six shift/AND/OR
+    // stages on the scalar tier).
     const uint64_t *src = row.words();
     uint64_t *dst = word.wordData();
     const size_t dstWords = word.wordCount();
@@ -56,20 +67,24 @@ InterleaveMap::extractWordInto(ConstBitSpan row, size_t slot,
         dst[i] = 0;
 
     size_t dstPos = 0;
+    size_t phase = slot;
     const size_t srcWords = row.wordCount();
     for (size_t i = 0; i < srcWords; ++i) {
         const size_t valid = std::min<size_t>(rowBits() - i * 64, 64);
-        if (valid <= slot)
-            break; // partial top word with no column of this slot
-        const size_t cnt = (valid - slot + intvDegree - 1) / intvDegree;
-        uint64_t chunk = plan->compress(src[i] >> slot);
-        if (cnt < 64)
-            chunk &= (uint64_t(1) << cnt) - 1;
-        const size_t off = dstPos % 64;
-        dst[dstPos / 64] |= chunk << off;
-        if (off + cnt > 64)
-            dst[dstPos / 64 + 1] |= chunk >> (64 - off);
-        dstPos += cnt;
+        if (valid > phase) {
+            const size_t cnt = (valid - phase + intvDegree - 1) / intvDegree;
+            uint64_t chunk = plans[phase].compress(src[i]);
+            if (cnt < 64)
+                chunk &= (uint64_t(1) << cnt) - 1;
+            const size_t off = dstPos % 64;
+            dst[dstPos / 64] |= chunk << off;
+            if (off + cnt > 64)
+                dst[dstPos / 64 + 1] |= chunk >> (64 - off);
+            dstPos += cnt;
+        }
+        phase += phaseStep;
+        if (phase >= intvDegree)
+            phase -= intvDegree;
     }
     assert(dstPos == wordWidth);
 }
@@ -82,36 +97,42 @@ InterleaveMap::depositWord(BitVector &row, size_t slot,
     assert(word.size() == wordWidth);
     assert(slot < intvDegree);
 
-    if (!plan) {
+    if (plans.empty()) {
         depositWordSlow(row, slot, word);
         return;
     }
 
     // Word-parallel scatter: the inverse of extractWordInto. For each
     // row word, expand the next chunk of codeword bits onto the
-    // stride positions and splice it in under the same mask.
+    // phase's positions and splice it in under the same mask.
     const uint64_t *src = word.wordData();
     uint64_t *dst = row.wordData();
     size_t srcPos = 0;
+    size_t phase = slot;
     const size_t dstWords = row.wordCount();
     for (size_t i = 0; i < dstWords; ++i) {
         const size_t valid = std::min<size_t>(rowBits() - i * 64, 64);
-        if (valid <= slot)
-            break;
-        const size_t cnt = (valid - slot + intvDegree - 1) / intvDegree;
-        // Gather cnt source bits starting at srcPos (spans <= 2 words).
-        const size_t off = srcPos % 64;
-        uint64_t chunk = src[srcPos / 64] >> off;
-        if (off != 0 && srcPos / 64 + 1 < word.wordCount())
-            chunk |= src[srcPos / 64 + 1] << (64 - off);
-        if (cnt < 64)
-            chunk &= (uint64_t(1) << cnt) - 1;
-        const uint64_t spread = plan->expand(chunk) << slot;
-        const uint64_t lanes =
-            cnt < 64 ? plan->expand((uint64_t(1) << cnt) - 1) << slot
-                     : plan->mask() << slot;
-        dst[i] = (dst[i] & ~lanes) | spread;
-        srcPos += cnt;
+        if (valid > phase) {
+            const size_t cnt = (valid - phase + intvDegree - 1) / intvDegree;
+            // Gather cnt source bits starting at srcPos (spans <= 2
+            // words).
+            const size_t off = srcPos % 64;
+            uint64_t chunk = src[srcPos / 64] >> off;
+            if (off != 0 && srcPos / 64 + 1 < word.wordCount())
+                chunk |= src[srcPos / 64 + 1] << (64 - off);
+            if (cnt < 64)
+                chunk &= (uint64_t(1) << cnt) - 1;
+            const BitCompressPlan &plan = plans[phase];
+            const uint64_t spread = plan.expand(chunk);
+            const uint64_t lanes = cnt < 64
+                                       ? plan.expand((uint64_t(1) << cnt) - 1)
+                                       : plan.mask();
+            dst[i] = (dst[i] & ~lanes) | spread;
+            srcPos += cnt;
+        }
+        phase += phaseStep;
+        if (phase >= intvDegree)
+            phase -= intvDegree;
     }
     assert(srcPos == wordWidth);
 }

@@ -7,7 +7,7 @@
 #define TDC_ARRAY_INTERLEAVE_HH
 
 #include <cstddef>
-#include <optional>
+#include <vector>
 
 #include "common/bit_span.hh"
 #include "common/bit_vector.hh"
@@ -26,12 +26,16 @@ namespace tdc
  * contiguous multi-bit upset into <= degree separate small errors,
  * one per codeword.
  *
- * Gather/scatter is word-parallel when the interleave degree divides
- * 64 (all power-of-two degrees up to 64, which covers every geometry
- * in the paper): slot s of a 64-bit row word is the stride-masked
- * bit set (strideMask64(degree) << s), compressed to the low end with
- * a precomputed PEXT-style butterfly (BitCompressPlan). Generic
- * degrees keep the per-bit loop as a fallback.
+ * Gather/scatter is word-parallel for every degree up to 64: within a
+ * 64-bit row word the columns of one slot are the positions congruent
+ * to a fixed phase (mod degree), so each (phase) gets a precomputed
+ * PEXT-style compress plan (BitCompressPlan — a single hardware PEXT/
+ * PDEP on BMI2 machines). When the degree divides 64 the phase is the
+ * slot index in every word (the classic stride case); otherwise the
+ * phase walks by 64 mod degree per word and the per-phase plan cache
+ * covers all of them, so non-dividing degrees (e.g. i3) run the same
+ * word-parallel path instead of a per-bit loop. Degrees above 64 keep
+ * the per-bit fallback.
  */
 class InterleaveMap
 {
@@ -79,7 +83,7 @@ class InterleaveMap
                      const BitVector &word) const;
 
     /** True iff the word-parallel gather/scatter path is active. */
-    bool wordParallel() const { return plan.has_value(); }
+    bool wordParallel() const { return !plans.empty(); }
 
     /**
      * Maximum physically-contiguous error width (in columns) whose
@@ -93,18 +97,30 @@ class InterleaveMap
     }
 
   private:
-    /** Per-bit gather, the generic-degree fallback. */
+    /** Per-bit gather, the degree > 64 fallback. */
     void extractWordSlow(ConstBitSpan row, size_t slot,
                          BitVector &word) const;
 
-    /** Per-bit scatter, the generic-degree fallback. */
+    /** Per-bit scatter, the degree > 64 fallback. */
     void depositWordSlow(BitVector &row, size_t slot,
                          const BitVector &word) const;
 
     size_t wordWidth;
     size_t intvDegree;
-    /** Engaged iff degree divides 64: the strided compress/expand plan. */
-    std::optional<BitCompressPlan> plan;
+
+    /**
+     * Plan cache, one compress/expand plan per in-word phase: plans[p]
+     * selects word positions congruent to p (mod degree). Empty iff
+     * degree > 64 (per-bit fallback).
+     */
+    std::vector<BitCompressPlan> plans;
+
+    /**
+     * Phase advance between consecutive 64-bit row words,
+     * (degree - 64 mod degree) mod degree: zero exactly when the
+     * degree divides 64.
+     */
+    size_t phaseStep = 0;
 };
 
 } // namespace tdc

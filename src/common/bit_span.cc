@@ -1,5 +1,7 @@
 #include "common/bit_span.hh"
 
+#include "common/cpu_features.hh"
+
 namespace tdc
 {
 
@@ -29,6 +31,8 @@ BitCompressPlan::BitCompressPlan(uint64_t mask)
 uint64_t
 BitCompressPlan::compress(uint64_t x) const
 {
+    if (simdBmi2Active())
+        return simd::pextBmi2(x, selectMask);
     x &= selectMask;
     for (unsigned i = 0; i < stages; ++i) {
         const uint64_t t = x & moveMasks[i];
@@ -40,6 +44,8 @@ BitCompressPlan::compress(uint64_t x) const
 uint64_t
 BitCompressPlan::expand(uint64_t x) const
 {
+    if (simdBmi2Active())
+        return simd::pdepBmi2(x, selectMask);
     if (bitCount < 64)
         x &= (uint64_t(1) << bitCount) - 1;
     // Replay the butterfly in reverse to scatter the low bits back to

@@ -183,11 +183,13 @@ class BitSpan
 /**
  * Precomputed plan for compressing (gathering) the bits selected by a
  * fixed mask to the low end of a word, and for the inverse expansion
- * (scatter). This is the software analogue of the BMI2 PEXT/PDEP
- * instructions, built once per mask with the O(log w) butterfly
- * network of Hacker's Delight 7-4, so the per-word cost is 6
- * shift/XOR/AND stages (log2 of the word width) regardless of mask
- * weight.
+ * (scatter). On a BMI2-capable machine (and unless TDC_SIMD forces
+ * the scalar tier — see common/cpu_features.hh) compress/expand are
+ * single PEXT/PDEP instructions; the retained software path is the
+ * O(log w) butterfly network of Hacker's Delight 7-4, built once per
+ * mask, so the scalar per-word cost is 6 shift/XOR/AND stages (log2
+ * of the word width) regardless of mask weight. Both paths are
+ * bit-identical; the scalar one doubles as the differential oracle.
  *
  * InterleaveMap uses one plan per interleave degree: the stride mask
  * 0b...000100010001 selects every degree-th bit, and compressing a

@@ -10,6 +10,7 @@ TwoDimArray::TwoDimArray(const TwoDimConfig &config)
     : cfg(config),
       horizontal(makeCode(cfg.horizontalKind, cfg.wordBits)),
       map(horizontal->codewordBits(), cfg.interleaveDegree),
+      line(*horizontal, map),
       data(cfg.dataRows, map.rowBits()),
       parity(cfg.dataRows, map.rowBits(), cfg.verticalParityRows)
 {
@@ -94,6 +95,10 @@ bool
 TwoDimArray::rowHealthy(const BitVector &row_bits, bool &any_detect) const
 {
     any_detect = false;
+    // Fast path: a row whose every syndrome vanishes is healthy with
+    // no further questions — the common case in every sweep.
+    if (line.lineClean(row_bits))
+        return true;
     for (size_t slot = 0; slot < map.degree(); ++slot) {
         const DecodeResult d =
             horizontal->decode(map.extractWord(row_bits, slot));
@@ -108,17 +113,11 @@ TwoDimArray::rowHealthy(const BitVector &row_bits, bool &any_detect) const
 bool
 TwoDimArray::inlineCorrectRow(size_t row)
 {
-    const BitVector old_row = data.readRow(row);
-    BitVector fixed_row = old_row;
-    for (size_t slot = 0; slot < map.degree(); ++slot) {
-        DecodeResult d = horizontal->decode(map.extractWord(fixed_row,
-                                                            slot));
-        if (d.uncorrectable())
-            return false;
-        if (d.corrected())
-            map.depositWord(fixed_row, slot, horizontal->encode(d.data));
-    }
-    if (fixed_row != old_row) {
+    BitVector fixed_row = data.readRow(row);
+    bool changed = false;
+    if (!line.correctLine(fixed_row, changed))
+        return false;
+    if (changed) {
         // Corrections restore the value the parity already accounts
         // for, so no parity delta is applied (see readWord).
         data.writeRow(row, fixed_row);
@@ -335,6 +334,8 @@ TwoDimArray::verifyClean() const
     // usage), so it must not fail verification.
     for (size_t r = 0; r < rows(); ++r) {
         const BitVector row_bits = data.readRow(r);
+        if (line.lineClean(row_bits))
+            continue;
         for (size_t slot = 0; slot < map.degree(); ++slot) {
             if (horizontal->decode(map.extractWord(row_bits, slot))
                     .uncorrectable())

@@ -14,6 +14,7 @@
 #include "array/interleave.hh"
 #include "array/memory_array.hh"
 #include "array/protected_array.hh"
+#include "core/line_codec.hh"
 #include "core/twod_config.hh"
 #include "core/vertical_parity.hh"
 #include "ecc/code.hh"
@@ -184,6 +185,10 @@ class TwoDimArray
     TwoDimConfig cfg;
     CodePtr horizontal;
     InterleaveMap map;
+    /** Batched row-granular codec over (horizontal, map); the sweep
+     *  paths (rowHealthy / verifyClean / inlineCorrectRow) go through
+     *  it so clean rows cost one fused check instead of a slot loop. */
+    LineCodec line;
     MemoryArray data;
     VerticalParity parity;
     TwoDimStats stat;

@@ -6,6 +6,7 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "common/cpu_features.hh"
 #include "common/parallel.hh"
 #include "cpu/ipc_campaign.hh"
 #include "scheme/figure_campaigns.hh"
@@ -202,6 +203,8 @@ const char *const kUsage =
     "          [--record-trace <path>] [--seed N]\n"
     "                                        concurrent cache service\n"
     "  tdc_run --list-figures | --list-schemes | --list-faults\n"
+    "  tdc_run --cpu                         report CPU features and the\n"
+    "                                        selected SIMD codec backend\n"
     "\n"
     "options:\n"
     "  --format table|csv|json   output format (default: table)\n"
@@ -257,6 +260,7 @@ struct CliOptions
     bool listFigures = false;
     bool listSchemes = false;
     bool listFaults = false;
+    bool cpu = false;
     bool help = false;
 };
 
@@ -368,6 +372,8 @@ parseCli(const std::vector<std::string> &args)
             opt.listSchemes = true;
         } else if (arg == "--list-faults") {
             opt.listFaults = true;
+        } else if (arg == "--cpu") {
+            opt.cpu = true;
         } else if (arg == "--help" || arg == "-h") {
             opt.help = true;
         } else {
@@ -447,6 +453,30 @@ tdcRun(const std::vector<std::string> &args, std::string &out,
             out += listSchemesText();
         if (opt.listFaults)
             out += listFaultsText();
+        return 0;
+    }
+    if (opt.cpu) {
+        // Machine report: probed ISA features plus the codec backend
+        // the dispatch layer settled on (honors TDC_SIMD). Goes
+        // through RunContext so --format csv/json work as everywhere
+        // else.
+        RunContext ctx(opt.format);
+        const CpuFeatures &f = cpuFeatures();
+        Table features({"feature", "present"});
+        features.addRow({"bmi2", f.bmi2 ? "yes" : "no"});
+        features.addRow({"avx2", f.avx2 ? "yes" : "no"});
+        features.addRow({"gfni", f.gfni ? "yes" : "no"});
+        features.addRow({"pclmulqdq", f.pclmul ? "yes" : "no"});
+        features.addRow({"vpclmulqdq", f.vpclmul ? "yes" : "no"});
+        ctx.table(features, "cpu features");
+        const std::optional<SimdBackend> requested = requestedSimdBackend();
+        Table backend({"dispatch", "backend"});
+        backend.addRow({"best supported", simdBackendName(bestSimdBackend())});
+        backend.addRow({"TDC_SIMD request",
+                        requested ? simdBackendName(*requested) : "(auto)"});
+        backend.addRow({"active", simdBackendName(activeSimdBackend())});
+        ctx.table(backend, "simd codec backend");
+        out += ctx.str();
         return 0;
     }
 

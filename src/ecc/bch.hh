@@ -57,12 +57,17 @@ class BchCode : public Code
      * contribution tables (even ones by Frobenius squaring),
      * inversion-free Berlekamp-Massey on fixed stack buffers, and
      * error location by closed-form solvers for locator degrees 1-3
-     * with a log-domain incremental Chien sweep (bounded to the
-     * shortened length n, early exit at deg(locator) roots) above
-     * that. Bit-exact against decodeNaive by construction and by the
-     * differential test suite.
+     * (degree 4 too on the accelerated dispatch tiers, see
+     * locateErrors) with a log-domain incremental Chien sweep
+     * (bounded to the shortened length n, early exit at deg(locator)
+     * roots) above that. Bit-exact against decodeNaive by
+     * construction and by the differential test suite.
      */
     DecodeResult decode(const BitVector &codeword) const override;
+
+    /** Allocation-free clean check via the fast syndrome engine (see
+     *  Code::syndromeClean). */
+    bool syndromeClean(const BitVector &codeword) const override;
 
     /**
      * The original element-at-a-time decoder (per-bit Horner
@@ -126,10 +131,13 @@ class BchCode : public Code
 
     /**
      * Error positions (polynomial coefficient indices, ascending) of
-     * the locator's roots. Degrees 1-3 go straight to closed-form
-     * solvers; higher degrees run the log-domain incremental Chien
-     * sweep over p in [0, n), deflating the locator at every root
-     * until three remain for the cubic solver. False on degree/
+     * the locator's roots. Low degrees go straight to closed-form
+     * solvers — 1-3 on the scalar tier, 1-4 on the accelerated
+     * dispatch tiers (common/cpu_features.hh); higher degrees run
+     * the log-domain incremental Chien sweep over p in [0, n),
+     * deflating the locator at every root until the closed forms
+     * take over. The root set (hence the decode outcome) is backend
+     * independent; only the search work differs. False on degree/
      * root-count mismatch or any root outside the shortened length.
      */
     bool locateErrors(const uint32_t *loc, size_t deg_l,
@@ -137,9 +145,12 @@ class BchCode : public Code
 
     /**
      * Closed-form root solver for locator degree 1 (direct log), 2
-     * (quadratic y^2+y=c table) and 3 (kernel of the linearized
-     * y^4+Py^2+Qy). Appends coefficient positions unsorted; false if
-     * the locator cannot have deg distinct in-range roots.
+     * (quadratic y^2+y=c table), 3 (kernel of the linearized
+     * y^4+Py^2+Qy) and 4 (shift by sqrt(c/a) to kill the linear
+     * term, then the reciprocal substitution reduces to the same
+     * affine quartic with a nonzero right-hand side). Appends
+     * coefficient positions unsorted; false if the locator cannot
+     * have deg distinct in-range roots.
      */
     bool locateClosed(const uint32_t *loc, size_t deg,
                       std::vector<size_t> &positions) const;
@@ -207,6 +218,9 @@ class ExtendedBchCode : public Code
     size_t checkBits() const override { return inner.checkBits() + 1; }
     BitVector computeCheck(const BitVector &data) const override;
     DecodeResult decode(const BitVector &codeword) const override;
+    /** Clean iff the overall parity is even and the inner BCH
+     *  syndromes vanish (see Code::syndromeClean). */
+    bool syndromeClean(const BitVector &codeword) const override;
     size_t correctCapability() const override
     {
         return inner.correctCapability();

@@ -95,6 +95,19 @@ class Code
     virtual DecodeResult decode(const BitVector &codeword) const = 0;
 
     /**
+     * True iff the codeword's syndrome is zero (it would decode
+     * kClean). Semantically identical to decode(cw).clean() — the
+     * default is exactly that — but overridable with an
+     * allocation-free syndrome-only check, which the batched
+     * whole-line codec (core/line_codec.hh) leans on for scrub and
+     * recovery sweeps where almost every word is clean.
+     */
+    virtual bool syndromeClean(const BitVector &codeword) const
+    {
+        return decode(codeword).clean();
+    }
+
+    /**
      * Number of arbitrary-position bit errors the code is guaranteed
      * to correct (t). 0 for detection-only codes.
      */

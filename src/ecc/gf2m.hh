@@ -63,6 +63,20 @@ class GF2m
     }
 
     /**
+     * Unique square root (the Frobenius map is a bijection in
+     * characteristic 2): sqrt(a) = a^((2^m - 1 + 1) / 2) via
+     * log/antilog — the group order is odd, so (order + 1) / 2
+     * inverts doubling mod order.
+     */
+    uint32_t sqrt(uint32_t a) const
+    {
+        if (a == 0)
+            return 0;
+        return expTable[uint32_t(uint64_t(logTable[a]) *
+                                 ((order() + 1) / 2) % order())];
+    }
+
+    /**
      * Batch scale: out[i] = a * in[i] for i in [0, n). The log of
      * @p a is hoisted out of the loop, so each element costs one log
      * and one exp table read. Aliasing out == in is allowed.

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "common/cpu_features.hh"
+
 namespace tdc
 {
 
@@ -103,28 +105,73 @@ HsiaoSecDedCode::foldBytes(const uint64_t *words, size_t nbytes) const
     return syn;
 }
 
+uint64_t
+HsiaoSecDedCode::foldBytesUnrolled(const uint64_t *words,
+                                   size_t nbytes) const
+{
+    const uint64_t *tbl = byteSyndromes.data();
+    uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    size_t i = 0;
+    for (; i + 8 <= nbytes; i += 8) {
+        const uint64_t w = words[i / 8];
+        const uint64_t *t = tbl + i * 256;
+        s0 ^= t[0 * 256 + (w & 0xFF)];
+        s1 ^= t[1 * 256 + ((w >> 8) & 0xFF)];
+        s2 ^= t[2 * 256 + ((w >> 16) & 0xFF)];
+        s3 ^= t[3 * 256 + ((w >> 24) & 0xFF)];
+        s0 ^= t[4 * 256 + ((w >> 32) & 0xFF)];
+        s1 ^= t[5 * 256 + ((w >> 40) & 0xFF)];
+        s2 ^= t[6 * 256 + ((w >> 48) & 0xFF)];
+        s3 ^= t[7 * 256 + (w >> 56)];
+    }
+    for (; i < nbytes; ++i)
+        s0 ^= tbl[i * 256 + ((words[i / 8] >> (8 * (i % 8))) & 0xFF)];
+    return (s0 ^ s1) ^ (s2 ^ s3);
+}
+
+uint64_t
+HsiaoSecDedCode::fold(const uint64_t *words, size_t nbytes) const
+{
+    return simdBmi2Active() ? foldBytesUnrolled(words, nbytes)
+                            : foldBytes(words, nbytes);
+}
+
+uint64_t
+HsiaoSecDedCode::foldRowMasks(const uint64_t *words, size_t nwords) const
+{
+    uint64_t acc = 0;
+    for (size_t row = 0; row < r; ++row) {
+        uint64_t fold = 0;
+        for (size_t w = 0; w < nwords; ++w)
+            fold ^= words[w] & rowMask(row, w);
+        acc |= uint64_t(std::popcount(fold) & 1) << row;
+    }
+    return acc;
+}
+
 BitVector
 HsiaoSecDedCode::computeCheck(const BitVector &data) const
 {
     assert(data.size() == k);
     if (!byteSyndromes.empty())
-        return BitVector(r, foldBytes(data.wordData(), k / 8));
+        return BitVector(r, fold(data.wordData(), k / 8));
 
     // Fallback: check[row] = parity(data & rowMask_row). The row masks
     // span all n bits, but the check columns are unit vectors, so over
     // the data region the first ceil(k/64) words are exactly the data
     // part of each row; data's top-word invariant zeroes kill any
     // check-column bits sharing the boundary word.
-    const uint64_t *words = data.wordData();
-    const size_t dataWords = data.wordCount();
-    uint64_t acc = 0;
-    for (size_t row = 0; row < r; ++row) {
-        uint64_t fold = 0;
-        for (size_t w = 0; w < dataWords; ++w)
-            fold ^= words[w] & rowMask(row, w);
-        acc |= uint64_t(std::popcount(fold) & 1) << row;
-    }
-    return BitVector(r, acc);
+    return BitVector(r, foldRowMasks(data.wordData(), data.wordCount()));
+}
+
+bool
+HsiaoSecDedCode::syndromeClean(const BitVector &codeword) const
+{
+    assert(codeword.size() == k + r);
+    const uint64_t *words = codeword.wordData();
+    if (!byteSyndromes.empty())
+        return fold(words, (k + r + 7) / 8) == 0;
+    return foldRowMasks(words, maskWords) == 0;
 }
 
 DecodeResult
@@ -135,17 +182,9 @@ HsiaoSecDedCode::decode(const BitVector &codeword) const
     result.data = codeword.slice(0, k);
 
     const uint64_t *words = codeword.wordData();
-    uint64_t syndrome = 0;
-    if (!byteSyndromes.empty()) {
-        syndrome = foldBytes(words, (k + r + 7) / 8);
-    } else {
-        for (size_t row = 0; row < r; ++row) {
-            uint64_t fold = 0;
-            for (size_t w = 0; w < maskWords; ++w)
-                fold ^= words[w] & rowMask(row, w);
-            syndrome |= uint64_t(std::popcount(fold) & 1) << row;
-        }
-    }
+    const uint64_t syndrome = !byteSyndromes.empty()
+                                  ? fold(words, (k + r + 7) / 8)
+                                  : foldRowMasks(words, maskWords);
 
     if (syndrome == 0) {
         result.status = DecodeStatus::kClean;

@@ -39,6 +39,8 @@ class HsiaoSecDedCode : public Code
     size_t checkBits() const override { return r; }
     BitVector computeCheck(const BitVector &data) const override;
     DecodeResult decode(const BitVector &codeword) const override;
+    /** Allocation-free clean check (see Code::syndromeClean). */
+    bool syndromeClean(const BitVector &codeword) const override;
     size_t correctCapability() const override { return 1; }
     size_t detectCapability() const override { return 2; }
     std::string name() const override;
@@ -68,6 +70,20 @@ class HsiaoSecDedCode : public Code
     /** Syndrome of the first @p nbytes bytes of @p words via the
      *  per-byte table. @pre !byteSyndromes.empty() */
     uint64_t foldBytes(const uint64_t *words, size_t nbytes) const;
+
+    /**
+     * The accelerated-tier form of foldBytes: one whole 64-bit word
+     * (8 table lookups) per iteration, spread over four independent
+     * accumulators so the XOR reduction pipelines instead of forming
+     * one serial dependency chain. Bit-identical to foldBytes.
+     */
+    uint64_t foldBytesUnrolled(const uint64_t *words, size_t nbytes) const;
+
+    /** Dispatch between foldBytes and foldBytesUnrolled. */
+    uint64_t fold(const uint64_t *words, size_t nbytes) const;
+
+    /** Syndrome via the rowMasks fallback (k not byte-aligned). */
+    uint64_t foldRowMasks(const uint64_t *words, size_t nwords) const;
 
     size_t k;
     size_t r;

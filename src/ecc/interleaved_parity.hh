@@ -58,6 +58,9 @@ class InterleavedParityCode : public Code
      */
     BitVector syndrome(const BitVector &codeword) const;
 
+    /** Allocation-free clean check (see Code::syndromeClean). */
+    bool syndromeClean(const BitVector &codeword) const override;
+
   private:
     /**
      * Word-parallel check computation: XOR-fold the low @p nbits of

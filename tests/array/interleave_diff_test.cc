@@ -118,11 +118,13 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_pair(size_t(10), size_t(7)),
         std::make_pair(size_t(8), size_t(96))));
 
-TEST(InterleaveFastPath, EngagedExactlyForDivisorsOf64)
+TEST(InterleaveFastPath, EngagedForEveryDegreeUpTo64)
 {
-    for (size_t d : {1u, 2u, 4u, 8u, 16u, 32u, 64u})
+    // The per-phase plan cache covers non-dividing degrees too (the
+    // old per-bit fallback only remains for degrees above 64).
+    for (size_t d : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 12u, 16u, 32u, 48u, 64u})
         EXPECT_TRUE(InterleaveMap(16, d).wordParallel()) << "degree " << d;
-    for (size_t d : {3u, 5u, 6u, 7u, 12u, 48u, 65u, 128u})
+    for (size_t d : {65u, 96u, 128u})
         EXPECT_FALSE(InterleaveMap(16, d).wordParallel()) << "degree " << d;
 }
 

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cpu_features.hh"
 #include "common/parallel.hh"
 #include "driver/tdc_run.hh"
 #include "scheme/figure_campaigns.hh"
@@ -293,6 +294,83 @@ TEST(TdcRun, ServeMissingTraceFileExitsOne)
     EXPECT_EQ(tdcRun({"--serve", "trace:/no/such/trace.bin"}, out, err),
               1);
     EXPECT_NE(err.find("/no/such/trace.bin"), std::string::npos) << err;
+}
+
+TEST(TdcRun, CpuFlagReportsFeaturesAndBackendAndExitsZero)
+{
+    const std::string out = runOk({"--cpu"});
+    EXPECT_NE(out.find("bmi2"), std::string::npos);
+    EXPECT_NE(out.find("avx2"), std::string::npos);
+    EXPECT_NE(out.find("best supported"), std::string::npos);
+    EXPECT_NE(out.find("active"), std::string::npos);
+    // The active row always names a valid backend.
+    EXPECT_NE(out.find(simdBackendName(activeSimdBackend())),
+              std::string::npos);
+
+    // json carries the same report as structured tables.
+    const std::string json = runOk({"--cpu", "--format", "json"});
+    EXPECT_NE(json.find("\"cpu features\""), std::string::npos);
+    EXPECT_NE(json.find("\"simd codec backend\""), std::string::npos);
+
+    // The usage text advertises the flag; unknown flags still exit 2.
+    EXPECT_NE(runOk({"--help"}).find("--cpu"), std::string::npos);
+    std::string o, e;
+    EXPECT_EQ(tdcRun({"--cpus"}, o, e), 2);
+    EXPECT_NE(e.find("\"--cpus\""), std::string::npos);
+}
+
+TEST(TdcRun, CampaignOutputIsBackendInvariant)
+{
+    // The same injection grid must emit identical bytes on the scalar
+    // tier and on the dispatched tier, at one worker thread and at
+    // eight — the no-output-drift guarantee TDC_SIMD is allowed to
+    // rely on.
+    ThreadGuard guard;
+    const std::vector<std::string> args = {
+        "--scheme", "2d:edc8/i4+vp32", "--scheme", "conv:qecped/i2/r64",
+        "--fault",  "8x8",             "--fault",  "col:6",
+        "--events", "4",               "--seed",   "77",
+    };
+    std::string ref;
+    {
+        ScopedSimdBackend scalar(SimdBackend::kScalar);
+        setParallelThreads(1);
+        ref = runOk(args);
+    }
+    for (SimdBackend b : {SimdBackend::kBmi2, SimdBackend::kAvx2}) {
+        if (b > bestSimdBackend())
+            continue;
+        ScopedSimdBackend backend(b);
+        for (unsigned threads : {1u, 8u}) {
+            setParallelThreads(threads);
+            EXPECT_EQ(runOk(args), ref)
+                << simdBackendName(b) << " threads=" << threads;
+        }
+    }
+}
+
+TEST(TdcRun, ServeOutputIsBackendInvariant)
+{
+    ThreadGuard guard;
+    const std::vector<std::string> args = {
+        "--serve", "zipf90/n5000/w40", "--scrub-interval", "13",
+        "--fault-interval", "301", "--format", "json"};
+    std::string ref;
+    {
+        ScopedSimdBackend scalar(SimdBackend::kScalar);
+        setParallelThreads(1);
+        ref = runOk(args);
+    }
+    for (SimdBackend b : {SimdBackend::kBmi2, SimdBackend::kAvx2}) {
+        if (b > bestSimdBackend())
+            continue;
+        ScopedSimdBackend backend(b);
+        for (unsigned threads : {1u, 8u}) {
+            setParallelThreads(threads);
+            EXPECT_EQ(runOk(args), ref)
+                << simdBackendName(b) << " threads=" << threads;
+        }
+    }
 }
 
 } // namespace

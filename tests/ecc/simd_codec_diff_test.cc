@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Backend differentials for the codec kernels: EDC folds, Hsiao
+ * encode/syndrome, BCH decode (including the quartic closed form that
+ * only the accelerated tiers use) and every syndromeClean override
+ * must return identical results on the scalar tier and on each
+ * hardware tier this machine offers — the guarantee that lets the
+ * campaigns run under any TDC_SIMD setting without output drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/cpu_features.hh"
+#include "common/rng.hh"
+#include "ecc/bch.hh"
+#include "ecc/hsiao.hh"
+#include "ecc/interleaved_parity.hh"
+
+namespace tdc
+{
+namespace
+{
+
+std::vector<SimdBackend>
+availableBackends()
+{
+    std::vector<SimdBackend> out = {SimdBackend::kScalar};
+    if (bestSimdBackend() >= SimdBackend::kBmi2)
+        out.push_back(SimdBackend::kBmi2);
+    if (bestSimdBackend() >= SimdBackend::kAvx2)
+        out.push_back(SimdBackend::kAvx2);
+    return out;
+}
+
+BitVector
+randomBits(size_t n, Rng &rng)
+{
+    BitVector v(n);
+    for (size_t i = 0; i < n; ++i)
+        v.set(i, rng.nextBool());
+    return v;
+}
+
+/** Flip 0..max_errs random positions (possibly none). */
+void
+injectUpTo(BitVector &cw, size_t max_errs, Rng &rng)
+{
+    const size_t n = rng.nextBelow(max_errs + 1);
+    for (size_t i = 0; i < n; ++i)
+        cw.flip(size_t(rng.nextBelow(cw.size())));
+}
+
+void
+expectBackendInvariantDecode(const Code &code, const BitVector &cw)
+{
+    DecodeResult ref;
+    bool refClean = false;
+    {
+        ScopedSimdBackend scalar(SimdBackend::kScalar);
+        ref = code.decode(cw);
+        refClean = code.syndromeClean(cw);
+    }
+    EXPECT_EQ(refClean, ref.clean());
+    for (SimdBackend b : availableBackends()) {
+        ScopedSimdBackend guard(b);
+        const DecodeResult got = code.decode(cw);
+        EXPECT_EQ(int(got.status), int(ref.status))
+            << code.name() << " backend=" << simdBackendName(b);
+        EXPECT_EQ(got.data, ref.data) << code.name();
+        EXPECT_EQ(got.correctedPositions, ref.correctedPositions)
+            << code.name();
+        EXPECT_EQ(code.syndromeClean(cw), refClean) << code.name();
+    }
+}
+
+TEST(SimdCodecDiff, EdcChecksAndSyndromesAreBackendInvariant)
+{
+    Rng rng(31);
+    // The two paper geometries plus a non-dividing-class oddball.
+    const InterleavedParityCode codes[] = {
+        InterleavedParityCode(64, 8),
+        InterleavedParityCode(256, 16),
+        InterleavedParityCode(96, 12),
+    };
+    for (const auto &code : codes) {
+        for (int trial = 0; trial < 200; ++trial) {
+            const BitVector data = randomBits(code.dataBits(), rng);
+            BitVector cw = code.encode(data);
+            if (trial % 2)
+                injectUpTo(cw, 4, rng);
+
+            BitVector refCheck, refSyn;
+            bool refClean = false;
+            {
+                ScopedSimdBackend scalar(SimdBackend::kScalar);
+                refCheck = code.computeCheck(data);
+                refSyn = code.syndrome(cw);
+                refClean = code.syndromeClean(cw);
+            }
+            for (SimdBackend b : availableBackends()) {
+                ScopedSimdBackend guard(b);
+                EXPECT_EQ(code.computeCheck(data), refCheck);
+                EXPECT_EQ(code.syndrome(cw), refSyn);
+                EXPECT_EQ(code.syndromeClean(cw), refClean);
+            }
+            expectBackendInvariantDecode(code, cw);
+        }
+    }
+}
+
+TEST(SimdCodecDiff, HsiaoEncodeAndDecodeAreBackendInvariant)
+{
+    Rng rng(32);
+    const HsiaoSecDedCode codes[] = {HsiaoSecDedCode(64),
+                                     HsiaoSecDedCode(256)};
+    for (const auto &code : codes) {
+        for (int trial = 0; trial < 200; ++trial) {
+            const BitVector data = randomBits(code.dataBits(), rng);
+            BitVector cw = code.encode(data);
+            injectUpTo(cw, 3, rng); // clean, corrected and detected
+
+            BitVector refCheck;
+            {
+                ScopedSimdBackend scalar(SimdBackend::kScalar);
+                refCheck = code.computeCheck(data);
+            }
+            for (SimdBackend b : availableBackends()) {
+                ScopedSimdBackend guard(b);
+                EXPECT_EQ(code.computeCheck(data), refCheck);
+            }
+            expectBackendInvariantDecode(code, cw);
+        }
+    }
+}
+
+TEST(SimdCodecDiff, BchDecodeIsBackendInvariantThroughDegreeFour)
+{
+    Rng rng(33);
+    // t = 4 exercises the quartic closed form on the accelerated
+    // tiers against the scalar Chien-then-cubic route; t = 8 covers
+    // sweep-then-closed-form deflation chains.
+    const BchCode codes[] = {BchCode(64, 4), BchCode(64, 8)};
+    for (const auto &code : codes) {
+        const size_t t = code.correctCapability();
+        for (size_t nerrs = 0; nerrs <= t + 1; ++nerrs) {
+            for (int trial = 0; trial < 30; ++trial) {
+                const BitVector data = randomBits(code.dataBits(), rng);
+                BitVector cw = code.encode(data);
+                for (size_t i = 0; i < nerrs; ++i)
+                    cw.flip(size_t(rng.nextBelow(cw.size())));
+                expectBackendInvariantDecode(code, cw);
+            }
+        }
+    }
+}
+
+TEST(SimdCodecDiff, ExtendedBchSyndromeCleanMatchesDecodeOnAllBackends)
+{
+    Rng rng(34);
+    const ExtendedBchCode code(64, 4, "QECPED");
+    for (int trial = 0; trial < 300; ++trial) {
+        const BitVector data = randomBits(code.dataBits(), rng);
+        BitVector cw = code.encode(data);
+        injectUpTo(cw, 6, rng);
+        expectBackendInvariantDecode(code, cw);
+    }
+}
+
+} // namespace
+} // namespace tdc
