@@ -5,7 +5,8 @@
 # (commit, label, per-benchmark real_time ns) to a BENCH_*.json file
 # at the repo root. Usage, from the repo root, after building:
 #
-#   bench/record_bench.sh [--bench NAME] [--out FILE] [--filter REGEX] [label]
+#   bench/record_bench.sh [--bench NAME] [--out FILE] [--filter REGEX]
+#                         [--repeat N] [label]
 #
 # --bench  harness binary under $BUILD_DIR/bench to run (default:
 #          bench_micro_codec). BENCH_0006_service.json is recorded
@@ -15,6 +16,13 @@
 # --filter google-benchmark regex selecting which benchmarks to run
 #          and record (default: all). BENCH_0003_bch_decode.json is
 #          recorded with --filter 'BM_DecodeDirty64|BM_RecoverySweep'.
+# --repeat N
+#          run the harness N times and record the per-benchmark MINIMUM
+#          real_time across runs (default: 1). The minimum is the
+#          standard noise filter for wall-clock trajectories on shared
+#          machines. BENCH_0008_result_cache.json is recorded with
+#            bench/record_bench.sh --bench bench_result_cache \
+#              --out BENCH_0008_result_cache.json --repeat 3 [label]
 # --compare-simd
 #          run the same harness+filter twice in one invocation — first
 #          with TDC_SIMD=scalar forced, then with the runtime-dispatched
@@ -48,6 +56,12 @@ while [ $# -gt 0 ]; do
         esac
         shift 2 ;;
       --filter) filter=${2:?"--filter requires a regex argument"}; shift 2 ;;
+      --repeat)
+        repeat=${2:?"--repeat requires a count argument"}
+        case "$repeat" in
+          ''|*[!0-9]*|0) echo "error: --repeat expects a positive integer, got \"$repeat\"" >&2; exit 1 ;;
+        esac
+        shift 2 ;;
       --compare-simd) compare_simd=1; shift ;;
       *) break ;;
     esac
@@ -60,44 +74,57 @@ if [ ! -x "$bench_bin" ]; then
     exit 1
 fi
 
-raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+raw_dir=$(mktemp -d)
+trap 'rm -rf "$raw_dir"' EXIT
 commit=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)
+repeat=${repeat:-1}
 
-# run_bench SIMD_MODE: run the harness into $raw. SIMD_MODE is a
-# TDC_SIMD value to force, or "" to leave dispatch to the runtime.
+# run_bench SIMD_MODE: run the harness $repeat times into
+# $raw_dir/run.N. SIMD_MODE is a TDC_SIMD value to force, or "" to
+# leave dispatch to the runtime.
 run_bench() {
     if [ -n "$1" ]; then
         export TDC_SIMD="$1"
     else
         unset TDC_SIMD || true
     fi
-    if [ -n "$filter" ]; then
-        "$bench_bin" --benchmark_filter="$filter" \
-                     --benchmark_format=json >"$raw"
-    else
-        "$bench_bin" --benchmark_format=json >"$raw"
-    fi
+    rm -f "$raw_dir"/run.*
+    i=1
+    while [ "$i" -le "$repeat" ]; do
+        if [ -n "$filter" ]; then
+            "$bench_bin" --benchmark_filter="$filter" \
+                         --benchmark_format=json >"$raw_dir/run.$i"
+        else
+            "$bench_bin" --benchmark_format=json >"$raw_dir/run.$i"
+        fi
+        i=$((i + 1))
+    done
 }
 
 append_entry() {
-    python3 - "$raw" "$out_file" "$commit" "$1" "$bench_name" <<'EOF'
+    python3 - "$raw_dir" "$out_file" "$commit" "$1" "$bench_name" <<'EOF'
+import glob
 import json
+import os
 import sys
 
-raw_path, out_path, commit, label, bench_name = sys.argv[1:6]
-with open(raw_path) as f:
-    run = json.load(f)
+raw_dir, out_path, commit, label, bench_name = sys.argv[1:6]
 
 to_ns = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
 results = {}
-for b in run["benchmarks"]:
-    if b.get("error_occurred"):
-        continue  # e.g. BM_DecodeCorrect64 on detection-only codes
-    name = b["name"]
-    if b.get("label"):
-        name += " [" + b["label"] + "]"
-    results[name] = round(b["real_time"] * to_ns[b.get("time_unit", "ns")], 1)
+runs = sorted(glob.glob(os.path.join(raw_dir, "run.*")))
+for raw_path in runs:
+    with open(raw_path) as f:
+        run = json.load(f)
+    for b in run["benchmarks"]:
+        if b.get("error_occurred"):
+            continue  # e.g. BM_DecodeCorrect64 on detection-only codes
+        name = b["name"]
+        if b.get("label"):
+            name += " [" + b["label"] + "]"
+        ns = round(b["real_time"] * to_ns[b.get("time_unit", "ns")], 1)
+        # min across --repeat runs: the standard wall-clock noise filter
+        results[name] = min(results.get(name, ns), ns)
 
 entry = {
     "commit": commit,

@@ -1,6 +1,7 @@
 #include "array/fault.hh"
 
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -152,6 +153,51 @@ FaultModel::describe() const
       case FaultShape::kFullColumn: return "full column";
     }
     return "?";
+}
+
+namespace
+{
+
+/** Shortest decimal that strtod parses back to exactly @p v. */
+std::string
+exactDouble(double v)
+{
+    char buf[64];
+    for (int prec = 6; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+} // namespace
+
+std::string
+FaultModel::spec() const
+{
+    std::string base;
+    switch (shape) {
+      case FaultShape::kSingleBit: base = "single"; break;
+      case FaultShape::kRowBurst:
+        base = "row:" + std::to_string(width);
+        break;
+      case FaultShape::kColumnBurst:
+        base = "col:" + std::to_string(height);
+        break;
+      case FaultShape::kCluster:
+        base = std::to_string(width) + "x" + std::to_string(height);
+        if (density < 1.0)
+            base += "@" + exactDouble(density);
+        break;
+      case FaultShape::kFullRow: base = "fullrow"; break;
+      case FaultShape::kFullColumn: base = "fullcol"; break;
+    }
+    if (rowLo >= 0 || colLo >= 0)
+        base += "/@" + std::to_string(rowLo) + "," + std::to_string(colLo);
+    if (persistence == FaultPersistence::kStuckAt)
+        base += "/hard";
+    return base;
 }
 
 void

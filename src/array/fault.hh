@@ -100,6 +100,17 @@ struct FaultModel
 
     /** Short label for campaign tables, e.g. "32x32" for clusters. */
     std::string describe() const;
+
+    /**
+     * Canonical spec string: the campaign result cache's key axis. For
+     * grammar-representable models this is exactly the parseFaultModel
+     * spelling and round-trips (parseFaultModel(m.spec()).spec() ==
+     * m.spec()); models the grammar cannot express — fixed anchors,
+     * stuck-at persistence — append "/@<row>,<col>" and "/hard"
+     * suffixes so distinct models never share a cache entry. Density
+     * is printed with just enough digits to round-trip exactly.
+     */
+    std::string spec() const;
 };
 
 /**

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The tdc_run --optimize design-space autotuner: expand spec patterns
+ * (scheme/spec_gen.hh) into a grid of concrete protection schemes,
+ * evaluate each point's fault coverage (Monte-Carlo injection through
+ * the campaign result cache) against its overhead on the chosen
+ * objective axis, and report the Pareto frontier.
+ *
+ *   coverage(spec)  = sum of corrected trials over the fault axis /
+ *                     total trials                       (maximize)
+ *   overhead(spec)  = storageOverhead()            [--objective storage]
+ *                   | normalized code area         [--objective area]
+ *                   | normalized coding latency    [--objective latency]
+ *                   | normalized dynamic power     [--objective power]
+ *                                                        (minimize)
+ *
+ * A point is dominated when another evaluated point has >= coverage
+ * and <= overhead with at least one strict. The frontier table lists
+ * the non-dominated points by ascending overhead; the evaluated-points
+ * table lists every design point with its dominated-by count, so a
+ * consumer can re-verify dominance from the emitted data alone.
+ */
+
+#ifndef TDC_DRIVER_OPTIMIZE_HH
+#define TDC_DRIVER_OPTIMIZE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/tdc_run.hh"
+
+namespace tdc
+{
+
+/** Overhead axis of the search. */
+enum class OptimizeObjective
+{
+    kStorage, ///< storageOverhead(): check-bit storage fraction
+    kArea,    ///< normalized code area vs conv:secded/i2 on l1()
+    kLatency, ///< normalized coding latency vs conv:secded/i2 on l1()
+    kPower,   ///< normalized dynamic power vs conv:secded/i2 on l1()
+};
+
+/** Parse storage|area|latency|power (throws std::invalid_argument
+ *  quoting the token otherwise). */
+OptimizeObjective parseObjective(const std::string &token);
+
+const char *objectiveName(OptimizeObjective objective);
+
+/** One --optimize invocation. */
+struct OptimizeRequest
+{
+    /** Spec patterns (see scheme/spec_gen.hh); expanded + deduped. */
+    std::vector<std::string> patterns;
+
+    /** Fault axis; empty selects the default mixed axis
+     *  (single, row:32, col:8, 32x32). */
+    std::vector<std::string> faults;
+
+    int trials = 100;
+    uint64_t seed = 12345;
+    OptimizeObjective objective = OptimizeObjective::kStorage;
+};
+
+/** One evaluated design point. */
+struct DesignPoint
+{
+    std::string spec;  ///< canonical scheme spec
+    std::string name;  ///< display name
+    double coverage = 0.0;
+    double overhead = 0.0;
+    size_t dominatedBy = 0; ///< number of evaluated points dominating it
+
+    bool onFrontier() const { return dominatedBy == 0; }
+};
+
+/** Evaluate the grid and annotate dominance (points in spec order). */
+std::vector<DesignPoint> evaluateDesignSpace(const OptimizeRequest &req);
+
+/** Pareto dominance on (coverage maximize, overhead minimize). */
+bool dominates(const DesignPoint &a, const DesignPoint &b);
+
+/** Run the search and emit the frontier + evaluated-points tables. */
+void runOptimize(const OptimizeRequest &req, RunContext &ctx);
+
+} // namespace tdc
+
+#endif // TDC_DRIVER_OPTIMIZE_HH

@@ -9,6 +9,7 @@
 #include "common/cpu_features.hh"
 #include "common/parallel.hh"
 #include "cpu/ipc_campaign.hh"
+#include "driver/optimize.hh"
 #include "scheme/figure_campaigns.hh"
 #include "scheme/scheme.hh"
 #include "service/cache_service.hh"
@@ -106,8 +107,11 @@ jsonString(const std::string &s)
 std::string
 RunContext::str() const
 {
-    if (format_ == RunFormat::kTable)
-        return text_;
+    if (format_ == RunFormat::kTable) {
+        if (!cacheStats_)
+            return text_;
+        return text_ + "cache: " + cacheStats_->describe() + "\n";
+    }
 
     std::string out;
     if (format_ == RunFormat::kCsv) {
@@ -125,10 +129,22 @@ RunContext::str() const
                 out += "\n";
             }
         }
+        if (cacheStats_)
+            out += "# cache: " + cacheStats_->describe() + "\n";
         return out;
     }
 
-    out = "{\n  \"tables\": [\n";
+    out = "{\n";
+    if (cacheStats_) {
+        const CacheStats &s = *cacheStats_;
+        out += "  \"cache\": {\"memory_hits\": " +
+               std::to_string(s.memoryHits) +
+               ", \"disk_hits\": " + std::to_string(s.diskHits) +
+               ", \"misses\": " + std::to_string(s.misses) +
+               ", \"stored\": " + std::to_string(s.stored) +
+               ", \"corrupt\": " + std::to_string(s.corrupt) + "},\n";
+    }
+    out += "  \"tables\": [\n";
     for (size_t i = 0; i < tables_.size(); ++i) {
         const Emitted &t = tables_[i];
         out += "    {\n      \"title\": " + jsonString(t.title) +
@@ -202,6 +218,9 @@ const char *const kUsage =
     "          [--scrub-interval N] [--fault-interval N]\n"
     "          [--record-trace <path>] [--seed N]\n"
     "                                        concurrent cache service\n"
+    "  tdc_run --optimize <pattern> [...] [--fault <spec> ...]\n"
+    "          [--trials N] [--objective storage|area|latency|power]\n"
+    "                                        design-space Pareto search\n"
     "  tdc_run --list-figures | --list-schemes | --list-faults\n"
     "  tdc_run --cpu                         report CPU features and the\n"
     "                                        selected SIMD codec backend\n"
@@ -211,9 +230,23 @@ const char *const kUsage =
     "  --threads N               worker-pool size (default: TDC_THREADS)\n"
     "  --events N                Monte-Carlo events per cell, accepts\n"
     "                            scientific notation (default: 100)\n"
+    "  --trials N                alias for --events (autotuner axis)\n"
     "  --cycles N                simulated cycles per IPC run\n"
     "                            (default: 150000)\n"
     "  --seed N                  base campaign seed (default: 12345)\n"
+    "  --cache-dir <path>        enable the on-disk result cache at\n"
+    "                            <path> (default: $TDC_CACHE_DIR)\n"
+    "  --cache-stats             append this run's result-cache\n"
+    "                            hit/miss/store counters to the output\n"
+    "\n"
+    "optimize options:\n"
+    "  --optimize <pattern>      scheme-spec pattern; brace groups\n"
+    "                            {a,b,c}, {lo..hi}, {lo..hi..+K},\n"
+    "                            {lo..hi..xK} expand to a design grid,\n"
+    "                            e.g. \"2d:edc{8,16,32}/i{1..8..x2}+vp32\"\n"
+    "  --objective <axis>        overhead axis to minimize against\n"
+    "                            coverage: storage (default), area,\n"
+    "                            latency, power\n"
     "\n"
     "serve options:\n"
     "  --shards N                concurrent service shards (default: 4)\n"
@@ -244,6 +277,10 @@ struct CliOptions
     std::vector<std::string> faults;
     std::vector<std::string> protections;
     std::vector<std::string> workloads;
+    std::vector<std::string> optimizePatterns;
+    OptimizeObjective objective = OptimizeObjective::kStorage;
+    std::string cacheDir;
+    bool cacheStats = false;
     std::string machine = "fat";
     double events = 100.0;
     double cycles = 150000.0;
@@ -335,8 +372,18 @@ parseCli(const std::vector<std::string> &args)
                            fmt + "\"");
         } else if (arg == "--threads") {
             opt.threads = long(parseCount(arg, value(i), 256));
-        } else if (arg == "--events") {
+        } else if (arg == "--events" || arg == "--trials") {
             opt.events = parseCount(arg, value(i), 1e8);
+        } else if (arg == "--optimize") {
+            opt.optimizePatterns.push_back(value(i));
+        } else if (arg == "--objective") {
+            opt.objective = parseObjective(value(i));
+        } else if (arg == "--cache-dir") {
+            opt.cacheDir = value(i);
+            if (opt.cacheDir.empty())
+                usageError("--cache-dir expects a directory path");
+        } else if (arg == "--cache-stats") {
+            opt.cacheStats = true;
         } else if (arg == "--cycles") {
             opt.cycles = parseCount(arg, value(i), 1e9);
         } else if (arg == "--seed") {
@@ -481,13 +528,21 @@ tdcRun(const std::vector<std::string> &args, std::string &out,
     }
 
     if (opt.figures.empty() && opt.schemes.empty() &&
-        opt.protections.empty() && !opt.serve) {
+        opt.protections.empty() && opt.optimizePatterns.empty() &&
+        !opt.serve) {
         err += kUsage;
         return 2;
     }
 
     if (opt.threads > 0)
         setParallelThreads(unsigned(opt.threads));
+    if (!opt.cacheDir.empty())
+        resultCache().setDirectory(opt.cacheDir);
+    if (opt.cacheStats) {
+        // Per-run semantics: the counters describe this invocation,
+        // not the process (tests drive tdcRun in-process repeatedly).
+        resultCache().resetStats();
+    }
 
     RunContext ctx(opt.format);
     if (opt.serve) {
@@ -542,6 +597,8 @@ tdcRun(const std::vector<std::string> &args, std::string &out,
             err += std::string("tdc_run: ") + e.what() + "\n";
             return 1;
         }
+        if (opt.cacheStats)
+            ctx.cacheStats(resultCache().stats());
         out += ctx.str();
         return 0;
     }
@@ -566,8 +623,19 @@ tdcRun(const std::vector<std::string> &args, std::string &out,
                 faults.push_back("32x32");
             ctx.table(customInjectionCampaign(opt.schemes, faults,
                                               int(opt.events), opt.seed));
-        } else if (!opt.faults.empty()) {
-            usageError("--fault requires at least one --scheme");
+        } else if (!opt.faults.empty() && opt.optimizePatterns.empty()) {
+            usageError("--fault requires at least one --scheme or "
+                       "--optimize");
+        }
+
+        if (!opt.optimizePatterns.empty()) {
+            OptimizeRequest req;
+            req.patterns = opt.optimizePatterns;
+            req.faults = opt.faults;
+            req.trials = int(opt.events);
+            req.seed = opt.seed;
+            req.objective = opt.objective;
+            runOptimize(req, ctx);
         }
 
         if (!opt.protections.empty()) {
@@ -589,6 +657,8 @@ tdcRun(const std::vector<std::string> &args, std::string &out,
         return 2;
     }
 
+    if (opt.cacheStats)
+        ctx.cacheStats(resultCache().stats());
     out += ctx.str();
     return 0;
 }

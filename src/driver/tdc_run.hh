@@ -12,15 +12,20 @@
  *           --fault 32x32 --events 1e3         # custom injection grid
  *   tdc_run --machine lean --protection l1+steal+l2 \
  *           --workload OLTP --cycles 2e5       # custom IPC grid
+ *   tdc_run --optimize "2d:edc{8,16,32}/i{1..8..x2}+vp32" \
+ *           --objective storage                # Pareto autotuner
  *   tdc_run --list-figures | --list-schemes | --list-faults
  *   tdc_run --figure fig7 --format csv         # table | csv | json
  *   tdc_run --figure fig3 --threads 8          # worker-pool override
+ *   tdc_run --figure fig3 --cache-dir .cache \
+ *           --cache-stats                      # persistent result cache
  */
 
 #ifndef TDC_DRIVER_TDC_RUN_HH
 #define TDC_DRIVER_TDC_RUN_HH
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -62,6 +67,13 @@ class RunContext
 
     RunFormat format() const { return format_; }
 
+    /**
+     * Attach the run's result-cache counters (--cache-stats): a
+     * trailing "cache: ..." line in table format, a "# cache: ..."
+     * comment in csv, a top-level "cache" object in json.
+     */
+    void cacheStats(const CacheStats &stats) { cacheStats_ = stats; }
+
     /** Everything emitted so far, rendered in the run's format. */
     std::string str() const;
 
@@ -76,6 +88,7 @@ class RunContext
     RunFormat format_;
     std::string text_;             ///< table-format byte stream
     std::vector<Emitted> tables_;  ///< structured stream for csv/json
+    std::optional<CacheStats> cacheStats_;
 };
 
 /** One registered figure: key, one-line summary, implementation. */

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "reliability/result_cache.hh"
 
 namespace tdc
 {
@@ -41,8 +42,26 @@ struct CampaignGrid
     std::vector<std::string> rowLabels;
     std::vector<std::string> colHeaders;
 
-    /** Formatted value of cell (row, col). */
+    /** Formatted value of cell (row, col). Analytic grids set this;
+     *  injection grids should set outcomeCell instead so the numeric
+     *  result is computed (and memoized) separately from formatting. */
     std::function<std::string(size_t row, size_t col)> cell;
+
+    /**
+     * Numeric evaluator for injection grids: returns the raw
+     * InjectionOutcome of cell (row, col) — typically via
+     * cachedInjectAndRecover, so repeated grids replay from the result
+     * cache. When set, `cell` must be empty; the executor evaluates
+     * outcomes first (in parallel when parallelCells), keeps them in
+     * CampaignResult::outcomes, and renders the table cells afterwards
+     * through formatOutcome.
+     */
+    std::function<InjectionOutcome(size_t row, size_t col)> outcomeCell;
+
+    /** Renders an outcome into its table cell (default: summary()).
+     *  Pure formatting only — never any computation worth caching. */
+    std::function<std::string(const InjectionOutcome &outcome)>
+        formatOutcome;
 
     /**
      * Optional trailing rows computed from the full cell matrix after
@@ -69,6 +88,10 @@ struct CampaignResult
     std::vector<std::string> headers; ///< rowHeader + colHeaders
     std::vector<std::vector<std::string>> rows; ///< label + cells (+summary)
     std::vector<std::vector<std::string>> cells; ///< raw grid cells only
+
+    /** Raw numeric outcomes (outcomeCell grids only, else empty) —
+     *  the memoizable result, decoupled from the rendered strings. */
+    std::vector<std::vector<InjectionOutcome>> outcomes;
 
     /** Assemble the tdc::Table (header + rows). */
     Table toTable() const;

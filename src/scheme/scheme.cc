@@ -15,25 +15,39 @@
 namespace tdc
 {
 
-std::string
-InjectionOutcome::verdict() const
+InjectionOutcome
+cachedInjectAndRecover(const ProtectionScheme &scheme,
+                       const FaultModel &fault, int trials, uint64_t seed)
 {
-    if (silent == trials && trials > 0)
-        return "SILENT corruption";
-    if (silent > 0)
-        return "NOT covered";
-    if (corrected == trials)
-        return "corrected";
-    if (corrected > 0)
-        return "partially corrected";
-    return "detected only";
+    const std::string key =
+        injectionCacheKey(scheme.spec(), fault.spec(), trials, seed);
+    return resultCache().outcome(
+        key, [&] { return scheme.injectAndRecover(fault, trials, seed); });
 }
 
-std::string
-InjectionOutcome::summary() const
+NormalizedOverhead
+cachedNormalizedCost(const ProtectionScheme &scheme,
+                     const std::string &reference_spec,
+                     const CacheGeometry &geom)
 {
-    return verdict() + " " + std::to_string(corrected) + "/" +
-           std::to_string(trials);
+    const std::string key =
+        "cost|scheme=" + scheme.spec() + "|ref=" + reference_spec +
+        "|geom=" + std::to_string(geom.capacityBytes) + "/" +
+        std::to_string(geom.wordBits) + "/" + std::to_string(geom.banks) +
+        "/" + std::to_string(geom.writeFraction) + "/" +
+        std::to_string(geom.nextLevelWriteCost);
+    const std::vector<double> v = resultCache().reals(key, 3, [&] {
+        const SchemeSpec reference =
+            parseScheme(reference_spec)->costSpec();
+        const NormalizedOverhead n =
+            normalizeScheme(scheme.costSpec(), reference, geom);
+        return std::vector<double>{n.area, n.latency, n.power};
+    });
+    NormalizedOverhead n;
+    n.area = v[0];
+    n.latency = v[1];
+    n.power = v[2];
+    return n;
 }
 
 SchemeSpec

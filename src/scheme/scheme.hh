@@ -33,30 +33,11 @@
 
 #include "array/fault.hh"
 #include "core/twod_config.hh"
+#include "reliability/result_cache.hh" // InjectionOutcome + ResultCache
 #include "vlsi/scheme_overhead.hh"
 
 namespace tdc
 {
-
-/** Outcome counters of one injection campaign (summed in trial order). */
-struct InjectionOutcome
-{
-    int trials = 0;
-    /** Array repaired and every word read back equal to the golden data. */
-    int corrected = 0;
-    /** Not repaired, but every wrong word was flagged (no silent loss). */
-    int detectedOnly = 0;
-    /** At least one word read back wrong without any error flagged. */
-    int silent = 0;
-
-    /** Coverage verdict string used by the figure tables. */
-    std::string verdict() const;
-
-    /** Verdict plus the corrected/trials ratio ("corrected 50/50"). */
-    std::string summary() const;
-
-    bool operator==(const InjectionOutcome &) const = default;
-};
 
 /**
  * One pluggable protection scheme: a name, a round-trippable spec
@@ -109,6 +90,32 @@ class ProtectionScheme
 
 /** Shared immutable handle used across campaigns and the driver. */
 using SchemePtr = std::shared_ptr<const ProtectionScheme>;
+
+/**
+ * injectAndRecover through the campaign result cache: the cell is
+ * keyed by (scheme.spec(), fault.spec(), trials, seed) and memoized in
+ * resultCache() — in memory always, on disk when a cache directory is
+ * configured. Because injectAndRecover is a pure function of exactly
+ * those arguments (counter-based seeding), the cached result is
+ * bit-identical to a cold run at any TDC_THREADS x TDC_SIMD setting.
+ * Every figure campaign and the --optimize search evaluate injection
+ * cells through this entry point.
+ */
+InjectionOutcome cachedInjectAndRecover(const ProtectionScheme &scheme,
+                                        const FaultModel &fault,
+                                        int trials, uint64_t seed);
+
+/**
+ * normalizeScheme(scheme.costSpec(), reference, geom) through the
+ * result cache, keyed by (scheme spec, reference spec, every geometry
+ * field). The SRAM-optimizer search inside costSpec() dominates the
+ * analytic figures (fig7) and the --optimize overhead axis, so both
+ * share these entries. @p reference_spec must parse to a scheme with a
+ * cost model (e.g. "conv:secded/i2").
+ */
+NormalizedOverhead cachedNormalizedCost(const ProtectionScheme &scheme,
+                                        const std::string &reference_spec,
+                                        const CacheGeometry &geom);
 
 /** One registered spec-string family ("conv", "2d", ...). */
 struct SchemeFamily

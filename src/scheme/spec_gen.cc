@@ -1,0 +1,153 @@
+#include "scheme/spec_gen.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace tdc
+{
+
+namespace
+{
+
+[[noreturn]] void
+patternError(const std::string &what, const std::string &token)
+{
+    throw std::invalid_argument(what + " \"" + token + "\"");
+}
+
+/** Parse a non-negative integer that consumes the whole token. */
+long
+rangeInt(const std::string &token, const std::string &group)
+{
+    char *end = nullptr;
+    const long v = std::strtol(token.c_str(), &end, 10);
+    if (token.empty() || end != token.c_str() + token.size() || v < 0)
+        patternError("range group expects non-negative integer bounds, "
+                     "got",
+                     group);
+    return v;
+}
+
+/** Expand one brace-group body (text between '{' and '}'). */
+std::vector<std::string>
+expandGroup(const std::string &body)
+{
+    const size_t dots = body.find("..");
+    if (dots == std::string::npos) {
+        // Alternatives: {a,b,c}. Empty alternatives are typos.
+        std::vector<std::string> out;
+        size_t start = 0;
+        while (true) {
+            const size_t comma = body.find(',', start);
+            const std::string token =
+                body.substr(start, comma == std::string::npos
+                                       ? std::string::npos
+                                       : comma - start);
+            if (token.empty())
+                patternError("empty alternative in group", "{" + body + "}");
+            out.push_back(token);
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        return out;
+    }
+
+    // Range: lo..hi[..+K | ..xK]
+    const std::string group = "{" + body + "}";
+    const std::string lo_tok = body.substr(0, dots);
+    std::string rest = body.substr(dots + 2);
+    std::string step_tok;
+    const size_t dots2 = rest.find("..");
+    if (dots2 != std::string::npos) {
+        step_tok = rest.substr(dots2 + 2);
+        rest = rest.substr(0, dots2);
+    }
+    const long lo = rangeInt(lo_tok, group);
+    const long hi = rangeInt(rest, group);
+    if (lo > hi)
+        patternError("range group expects lo <= hi, got", group);
+
+    bool multiplicative = false;
+    long step = 1;
+    if (!step_tok.empty()) {
+        if (step_tok[0] == 'x')
+            multiplicative = true;
+        else if (step_tok[0] != '+')
+            patternError("range step expects +K or xK, got", group);
+        step = rangeInt(step_tok.substr(1), group);
+        if (step < 1 || (multiplicative && step < 2))
+            patternError(multiplicative
+                             ? "multiplicative step expects K >= 2, got"
+                             : "additive step expects K >= 1, got",
+                         group);
+    }
+
+    std::vector<std::string> out;
+    for (long v = lo; v <= hi; v = multiplicative ? v * step : v + step) {
+        out.push_back(std::to_string(v));
+        if (out.size() > kMaxSpecExpansion)
+            patternError("range group expands past the grid limit,", group);
+        if (multiplicative && v == 0)
+            break; // 0 * K never advances
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<std::string>
+expandSpecPattern(const std::string &pattern)
+{
+    std::vector<std::string> specs{""};
+    size_t pos = 0;
+    while (pos < pattern.size()) {
+        const size_t open = pattern.find_first_of("{}", pos);
+        if (open == std::string::npos) {
+            for (std::string &s : specs)
+                s += pattern.substr(pos);
+            break;
+        }
+        if (pattern[open] == '}')
+            patternError("unmatched '}' in pattern", pattern);
+        const size_t close = pattern.find_first_of("{}", open + 1);
+        if (close == std::string::npos || pattern[close] != '}')
+            patternError("unmatched '{' in pattern", pattern);
+
+        const std::string prefix = pattern.substr(pos, open - pos);
+        const std::vector<std::string> values =
+            expandGroup(pattern.substr(open + 1, close - open - 1));
+
+        if (specs.size() * values.size() > kMaxSpecExpansion)
+            patternError("pattern expands past the grid limit of " +
+                             std::to_string(kMaxSpecExpansion) + " specs:",
+                         pattern);
+        std::vector<std::string> next;
+        next.reserve(specs.size() * values.size());
+        for (const std::string &head : specs)
+            for (const std::string &v : values)
+                next.push_back(head + prefix + v);
+        specs = std::move(next);
+        pos = close + 1;
+    }
+    if (pattern.empty())
+        patternError("empty spec pattern", pattern);
+    return specs;
+}
+
+std::vector<std::string>
+expandSpecPatterns(const std::vector<std::string> &patterns)
+{
+    std::vector<std::string> out;
+    std::unordered_set<std::string> seen;
+    for (const std::string &pattern : patterns) {
+        for (std::string &spec : expandSpecPattern(pattern)) {
+            if (seen.insert(spec).second)
+                out.push_back(std::move(spec));
+        }
+    }
+    return out;
+}
+
+} // namespace tdc

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The cached-injection contract that makes the result cache safe:
+ *  - cachedInjectAndRecover returns exactly what a direct
+ *    injectAndRecover call returns (cold, warm-from-memory, and
+ *    warm-from-disk);
+ *  - FaultModel::spec() round-trips through parseFaultModel for every
+ *    grammar-representable model and distinguishes the non-grammar
+ *    variants (anchored, stuck-at), so distinct fault models can never
+ *    share a cache entry;
+ *  - injectionCacheKey separates every key axis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "reliability/result_cache.hh"
+#include "scheme/scheme.hh"
+
+namespace tdc
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+TEST(CachedInjection, MatchesDirectCallColdAndWarm)
+{
+    const SchemePtr scheme = parseScheme("2d:edc8/i4+vp32");
+    const FaultModel fault = parseFaultModel("16x16");
+    const InjectionOutcome direct =
+        scheme->injectAndRecover(fault, 40, 777);
+
+    const InjectionOutcome cold =
+        cachedInjectAndRecover(*scheme, fault, 40, 777);
+    const InjectionOutcome warm =
+        cachedInjectAndRecover(*scheme, fault, 40, 777);
+    EXPECT_EQ(cold, direct);
+    EXPECT_EQ(warm, direct);
+}
+
+TEST(CachedInjection, DiskRoundTripIsExact)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "tdc_cached_injection_test";
+    fs::remove_all(dir);
+
+    ResultCache cache(dir.string());
+    const SchemePtr scheme = parseScheme("conv:secded/i2");
+    const FaultModel fault = parseFaultModel("row:8");
+    const InjectionOutcome direct =
+        scheme->injectAndRecover(fault, 25, 42);
+
+    const std::string key =
+        injectionCacheKey(scheme->spec(), fault.spec(), 25, 42);
+    cache.outcome(key,
+                  [&] { return scheme->injectAndRecover(fault, 25, 42); });
+    cache.clearMemory(); // force the disk tier
+    const InjectionOutcome reloaded = cache.outcome(key, [&] {
+        ADD_FAILURE() << "expected a disk hit";
+        return InjectionOutcome{};
+    });
+    EXPECT_EQ(reloaded, direct);
+    fs::remove_all(dir);
+}
+
+TEST(CachedInjection, KeySeparatesEveryAxis)
+{
+    const std::string base =
+        injectionCacheKey("2d:edc8/i4+vp32", "32x32", 100, 1);
+    EXPECT_NE(base, injectionCacheKey("2d:edc8/i2+vp32", "32x32", 100, 1));
+    EXPECT_NE(base, injectionCacheKey("2d:edc8/i4+vp32", "16x16", 100, 1));
+    EXPECT_NE(base, injectionCacheKey("2d:edc8/i4+vp32", "32x32", 101, 1));
+    EXPECT_NE(base, injectionCacheKey("2d:edc8/i4+vp32", "32x32", 100, 2));
+}
+
+TEST(FaultModelSpec, RoundTripsEveryGrammarForm)
+{
+    for (const char *spec :
+         {"single", "row:32", "col:8", "32x32", "16x16@0.5", "8x4@0.25",
+          "fullrow", "fullcol"}) {
+        const FaultModel m = parseFaultModel(spec);
+        EXPECT_EQ(m.spec(), spec) << "canonical form drifted";
+        // And the canonical form re-parses to the same canonical form.
+        EXPECT_EQ(parseFaultModel(m.spec()).spec(), m.spec());
+    }
+}
+
+TEST(FaultModelSpec, DensityPrintsWithRoundTripPrecision)
+{
+    FaultModel m = FaultModel::cluster(8, 8, 1.0 / 3.0);
+    const FaultModel reparsed = parseFaultModel(m.spec());
+    EXPECT_EQ(reparsed.density, m.density)
+        << "density must survive spec() exactly, got " << m.spec();
+}
+
+TEST(FaultModelSpec, NonGrammarVariantsAreDistinguished)
+{
+    FaultModel anchored = FaultModel::cluster(8, 8);
+    FaultModel plain = FaultModel::cluster(8, 8);
+    anchored.rowLo = 3;
+    anchored.colLo = 5;
+    EXPECT_NE(anchored.spec(), plain.spec());
+    EXPECT_NE(anchored.spec().find("@3,5"), std::string::npos)
+        << anchored.spec();
+
+    FaultModel hard = FaultModel::singleBit();
+    hard.persistence = FaultPersistence::kStuckAt;
+    EXPECT_NE(hard.spec(), FaultModel::singleBit().spec());
+    EXPECT_NE(hard.spec().find("hard"), std::string::npos) << hard.spec();
+}
+
+} // namespace
+} // namespace tdc
