@@ -155,10 +155,6 @@ FaultModel::describe() const
     return "?";
 }
 
-namespace
-{
-
-/** Shortest decimal that strtod parses back to exactly @p v. */
 std::string
 exactDouble(double v)
 {
@@ -170,8 +166,6 @@ exactDouble(double v)
     }
     return buf;
 }
-
-} // namespace
 
 std::string
 FaultModel::spec() const

@@ -114,6 +114,14 @@ struct FaultModel
 };
 
 /**
+ * Shortest decimal string that strtod parses back to exactly @p v —
+ * the double printer every canonical spec / cache-key axis shares
+ * (FaultModel density, FIT-mix scales, lifetime mission/scrub hours),
+ * so equal doubles always map to one spelling and one cache entry.
+ */
+std::string exactDouble(double v);
+
+/**
  * Parse a fault-model spec string (the --fault axis of the tdc_run
  * driver):
  *

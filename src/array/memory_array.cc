@@ -133,6 +133,31 @@ MemoryArray::clearAllFaults()
     stuckTotal = 0;
 }
 
+std::vector<std::pair<size_t, size_t>>
+MemoryArray::stuckRows() const
+{
+    std::vector<std::pair<size_t, size_t>> out;
+    out.reserve(stuckByRow.size());
+    for (const auto &[row, faults] : stuckByRow)
+        out.emplace_back(row, faults.size());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+MemoryArray::clearRowFaults(size_t r)
+{
+    auto it = stuckByRow.find(r);
+    if (it == stuckByRow.end())
+        return;
+    // Materialize each stuck value into the stored state so the
+    // visible row is unchanged by the overlay removal.
+    for (const auto &[col, value] : it->second)
+        cells.set(r, col, value);
+    stuckTotal -= it->second.size();
+    stuckByRow.erase(it);
+}
+
 bool
 MemoryArray::isStuck(size_t r, size_t c) const
 {

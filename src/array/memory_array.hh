@@ -100,6 +100,24 @@ class MemoryArray
     /** Remove every stuck-at fault. */
     void clearAllFaults();
 
+    /**
+     * Rows currently holding stuck-at cells, as (row, stuck-cell
+     * count) pairs sorted by row index — a deterministic snapshot of
+     * the hard-fault overlay for repair policies (spare-row budgets
+     * pick the most-stuck row first).
+     */
+    std::vector<std::pair<size_t, size_t>> stuckRows() const;
+
+    /**
+     * Clear every stuck-at fault in row @p r, preserving each cell's
+     * visible value: the stored bit is set to the value the cell was
+     * stuck at before the overlay entry is dropped. Visible state is
+     * therefore unchanged, so incrementally-maintained derived state
+     * (vertical / product parity, which tracks visible values through
+     * read-before-write) stays consistent across the repair.
+     */
+    void clearRowFaults(size_t r);
+
     /** Number of stuck-at cells currently installed. */
     size_t faultCount() const { return stuckTotal; }
 

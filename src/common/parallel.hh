@@ -65,6 +65,7 @@ inline constexpr uint64_t kSeedDomainInjection = 0x496e6a656374ULL;
 inline constexpr uint64_t kSeedDomainScrub = 0x5363727562ULL;
 inline constexpr uint64_t kSeedDomainService = 0x53657276696365ULL;
 inline constexpr uint64_t kSeedDomainWorkload = 0x576f726b6c6fULL;
+inline constexpr uint64_t kSeedDomainLifetime = 0x4c69666574696dULL;
 
 /**
  * Domain-separated stream derivation: like shardSeed(base, shard) but

@@ -264,6 +264,30 @@ relatedWork(RunContext &ctx)
 // --- Table 1 --------------------------------------------------------
 
 void
+lifetime(RunContext &ctx)
+{
+    ctx.prose("=== Lifetime/FIT reliability: fault accumulation over "
+              "5-year missions ===\n\n");
+    ctx.prose("Jaguar field-failure FIT mix accelerated 10000x "
+              "(accelerated testing);\ntransient events flip bits, "
+              "permanent events stick rows/cols/cells. Each cell\n"
+              "reports the censored MTTF estimate, the FIT rate, and "
+              "surviving trials.\n\n");
+
+    ctx.table(lifetimeScrubCampaign());
+    ctx.prose("\nFrequent checking shrinks the accumulation window "
+              "(Section 2.1's per-read\nlimit is T=event); monthly "
+              "scrubbing lets independent events meet in one\nwindow "
+              "and overwhelm the horizontal code.\n\n");
+
+    ctx.table(lifetimeSpareCampaign());
+    ctx.prose("\nSpare rows retire accumulated stuck-at rows after "
+              "each clean scrub, so the\npermanent-fault population "
+              "stops compounding; transient-dominated failures\n"
+              "are unaffected.\n");
+}
+
+void
 table1(RunContext &ctx)
 {
     ctx.prose("=== Table 1: simulated systems ===\n\n");
@@ -548,6 +572,8 @@ builtinFigures()
         {"fig7", "area/latency/power of schemes at 32x32 coverage",
          figure7},
         {"fig8", "yield and multi-year soft-error reliability", figure8},
+        {"lifetime", "MTTF/FIT over mission time (scrub + spare sweeps)",
+         lifetime},
         {"table1", "simulated systems and workload profiles", table1},
         {"ablation", "2D design-choice ablation sweeps", ablation},
         {"related-work", "HV product code vs 2D coding (injection)",

@@ -221,6 +221,9 @@ const char *const kUsage =
     "  tdc_run --optimize <pattern> [...] [--fault <spec> ...]\n"
     "          [--trials N] [--objective storage|area|latency|power]\n"
     "                                        design-space Pareto search\n"
+    "  tdc_run --lifetime [--scheme <spec> ...] [--fit-mix <spec> ...]\n"
+    "          [--scrub-interval H ...] [--spares N ...] [--mission H]\n"
+    "          [--trials N] [--seed N]       custom MTTF/FIT grid\n"
     "  tdc_run --list-figures | --list-schemes | --list-faults\n"
     "  tdc_run --cpu                         report CPU features and the\n"
     "                                        selected SIMD codec backend\n"
@@ -261,6 +264,18 @@ const char *const kUsage =
     "  --record-trace <path>     save the served stream as a replayable\n"
     "                            binary trace\n"
     "\n"
+    "lifetime options:\n"
+    "  --fit-mix <spec>          FIT-rate mix: jaguar, transient,\n"
+    "                            permanent, single, optionally scaled\n"
+    "                            (\"jaguar*10000\"); repeatable\n"
+    "                            (default: jaguar*10000)\n"
+    "  --scrub-interval H        hours between scrubs, 0 scrubs after\n"
+    "                            every event; repeatable (default: 168)\n"
+    "  --spares N                spare-row repair budget; repeatable\n"
+    "                            (default: 0)\n"
+    "  --mission H               mission length in hours\n"
+    "                            (default: 43800, five years)\n"
+    "\n"
     "scheme specs (see --list-schemes):   conv:secded/i4,\n"
     "  2d:edc8/i4+vp32, wt:edc8/i4, prod:256x256, ...\n"
     "fault specs (see --list-faults):     single, 32x32, 16x16@0.5,\n"
@@ -292,8 +307,15 @@ struct CliOptions
     size_t banks = 4;
     unsigned ports = 1;
     unsigned stealWindow = 8;
-    uint64_t scrubInterval = 0;
+    // Raw --scrub-interval values; the meaning is mode-dependent
+    // (ticks under --serve, hours under --lifetime), so parsing is
+    // deferred to dispatch.
+    std::vector<std::string> scrubIntervals;
     uint64_t faultInterval = 0;
+    bool lifetime = false;
+    std::vector<std::string> fitMixes;
+    std::vector<std::string> spares;
+    double missionHours = 5.0 * 8760.0;
     bool listFigures = false;
     bool listSchemes = false;
     bool listFaults = false;
@@ -329,6 +351,19 @@ parseU64(const std::string &flag, const std::string &value)
     const uint64_t v = std::strtoull(value.c_str(), &end, 10);
     if (value.empty() || end != value.c_str() + value.size())
         usageError(flag + " expects an unsigned integer, got \"" + value +
+                   "\"");
+    return v;
+}
+
+/** Parse a non-negative hour count (0 = scrub after every event). */
+double
+parseHours(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size() ||
+        !(v >= 0.0) || v > 1e9)
+        usageError(flag + " expects hours in [0, 1e9], got \"" + value +
                    "\"");
     return v;
 }
@@ -410,7 +445,15 @@ parseCli(const std::vector<std::string> &args)
         } else if (arg == "--steal-window") {
             opt.stealWindow = unsigned(parseU64(arg, value(i)));
         } else if (arg == "--scrub-interval") {
-            opt.scrubInterval = parseU64(arg, value(i));
+            opt.scrubIntervals.push_back(value(i));
+        } else if (arg == "--lifetime") {
+            opt.lifetime = true;
+        } else if (arg == "--fit-mix") {
+            opt.fitMixes.push_back(value(i));
+        } else if (arg == "--spares") {
+            opt.spares.push_back(value(i));
+        } else if (arg == "--mission") {
+            opt.missionHours = parseCount(arg, value(i), 1e9);
         } else if (arg == "--fault-interval") {
             opt.faultInterval = parseU64(arg, value(i));
         } else if (arg == "--list-figures") {
@@ -529,7 +572,7 @@ tdcRun(const std::vector<std::string> &args, std::string &out,
 
     if (opt.figures.empty() && opt.schemes.empty() &&
         opt.protections.empty() && opt.optimizePatterns.empty() &&
-        !opt.serve) {
+        !opt.serve && !opt.lifetime) {
         err += kUsage;
         return 2;
     }
@@ -547,13 +590,16 @@ tdcRun(const std::vector<std::string> &args, std::string &out,
     RunContext ctx(opt.format);
     if (opt.serve) {
         try {
-            if (!opt.figures.empty() || !opt.protections.empty())
-                usageError("--serve is exclusive with --figure and "
-                           "--protection");
+            if (!opt.figures.empty() || !opt.protections.empty() ||
+                opt.lifetime)
+                usageError("--serve is exclusive with --figure, "
+                           "--protection and --lifetime");
             if (opt.schemes.size() > 1)
                 usageError("--serve accepts at most one --scheme");
             if (opt.faults.size() > 1)
                 usageError("--serve accepts at most one --fault");
+            if (opt.scrubIntervals.size() > 1)
+                usageError("--serve accepts at most one --scrub-interval");
 
             ServiceConfig cfg;
             cfg.bank = parseTwoDimConfig(
@@ -563,7 +609,11 @@ tdcRun(const std::vector<std::string> &args, std::string &out,
             cfg.banksPerShard = opt.banks;
             cfg.ports = opt.ports;
             cfg.stealWindow = opt.stealWindow;
-            cfg.scrubInterval = opt.scrubInterval;
+            cfg.scrubInterval =
+                opt.scrubIntervals.empty()
+                    ? 0
+                    : parseU64("--scrub-interval",
+                               opt.scrubIntervals.front());
             cfg.faultInterval = opt.faultInterval;
             cfg.seed = opt.seed;
             if (!opt.faults.empty())
@@ -617,7 +667,38 @@ tdcRun(const std::vector<std::string> &args, std::string &out,
                            "\" (see --list-figures)");
         }
 
-        if (!opt.schemes.empty()) {
+        if (opt.lifetime) {
+            if (!opt.faults.empty())
+                usageError("--lifetime draws fault classes from "
+                           "--fit-mix, not --fault");
+            std::vector<std::string> schemes = opt.schemes;
+            if (schemes.empty())
+                schemes = {"conv:secded/i4/r64", "wt:edc8/i4/r64",
+                           "2d:edc8/i4+vp32/r64", "prod:64x64"};
+            std::vector<std::string> mixes = opt.fitMixes;
+            if (mixes.empty())
+                mixes.push_back("jaguar*10000");
+            std::vector<double> scrubs;
+            for (const std::string &s : opt.scrubIntervals)
+                scrubs.push_back(parseHours("--scrub-interval", s));
+            if (scrubs.empty())
+                scrubs.push_back(24.0 * 7);
+            std::vector<int> spares;
+            for (const std::string &s : opt.spares) {
+                const uint64_t v = parseU64("--spares", s);
+                if (v > 4096)
+                    usageError("--spares expects at most 4096, got \"" +
+                               s + "\"");
+                spares.push_back(int(v));
+            }
+            if (spares.empty())
+                spares.push_back(0);
+            ctx.table(customLifetimeCampaign(schemes, mixes, scrubs,
+                                             spares, opt.missionHours,
+                                             int(opt.events), opt.seed));
+        } else if (!opt.fitMixes.empty() || !opt.spares.empty()) {
+            usageError("--fit-mix and --spares require --lifetime");
+        } else if (!opt.schemes.empty()) {
             std::vector<std::string> faults = opt.faults;
             if (faults.empty())
                 faults.push_back("32x32");

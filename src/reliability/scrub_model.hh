@@ -64,7 +64,9 @@ class ScrubModel
     /**
      * Monte-Carlo cross-check of survivalProbability: simulate
      * Poisson upsets onto random words, clearing all words at every
-     * scrub boundary.
+     * scrub boundary. A mission that is not a whole number of scrub
+     * intervals ends with a partial window whose upset mean is scaled
+     * by the residual hours.
      */
     double monteCarlo(double mission_hours, int trials, Rng &rng) const;
 

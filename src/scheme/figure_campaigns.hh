@@ -79,6 +79,37 @@ CampaignResult customInjectionCampaign(
     const std::vector<std::string> &fault_specs, int trials,
     uint64_t seed);
 
+/**
+ * The lifetime figure, scrub panel: MTTF/FIT per scheme (columns) over
+ * a scrub-interval sweep (rows: per-event, daily, weekly, monthly)
+ * under the accelerated Jaguar mix ("jaguar*10000") on small (64-row)
+ * device geometries, 5-year missions. Cells evaluate through
+ * cachedSchemeLifetime, so the numeric results replay from the result
+ * cache like every other campaign cell.
+ */
+CampaignResult lifetimeScrubCampaign(int trials = 60, uint64_t seed = 7777);
+
+/**
+ * The lifetime figure, repair panel: the same schemes under weekly
+ * scrubbing with a growing spare-row budget (rows: 0/2/8 spares).
+ */
+CampaignResult lifetimeSpareCampaign(int trials = 60, uint64_t seed = 7777);
+
+/**
+ * Fully custom lifetime grid (tdc_run --lifetime): rows = every
+ * (fit-mix, scrub-interval, spare-budget) combination, columns =
+ * scheme specs, each cell one cachedSchemeLifetime evaluation seeded
+ * with shardSeed(seed, column) — rows of one column replay identical
+ * event timelines, so sweeps read as paired comparisons. Malformed
+ * mix specs throw std::invalid_argument quoting the offending token.
+ */
+CampaignResult customLifetimeCampaign(
+    const std::vector<std::string> &scheme_specs,
+    const std::vector<std::string> &mix_specs,
+    const std::vector<double> &scrub_interval_hours,
+    const std::vector<int> &spare_rows, double mission_hours, int trials,
+    uint64_t seed);
+
 } // namespace tdc
 
 #endif // TDC_SCHEME_FIGURE_CAMPAIGNS_HH

@@ -50,6 +50,22 @@ cachedNormalizedCost(const ProtectionScheme &scheme,
     return n;
 }
 
+LifetimeResult
+cachedSchemeLifetime(const ProtectionScheme &scheme, LifetimeParams params)
+{
+    params.schemeSpec = scheme.spec();
+    return cachedLifetime(params, [&scheme](uint64_t seed) {
+        return scheme.openLifetimeSession(seed);
+    });
+}
+
+std::unique_ptr<DeviceSession>
+ProtectionScheme::openLifetimeSession(uint64_t) const
+{
+    throw std::logic_error("scheme \"" + spec() +
+                           "\" has no lifetime device model");
+}
+
 SchemeSpec
 ProtectionScheme::costSpec() const
 {
@@ -228,6 +244,185 @@ runTrials(int trials, uint64_t seed, Trial &&trial)
     return out;
 }
 
+// --- Lifetime device sessions ---------------------------------------
+//
+// One DeviceSession per family, mirroring that family's
+// injectAndRecover trial body exactly: same golden fill, same
+// scrub/verify classification. The lifetime engine drives these over
+// mission time instead of one event per fresh array.
+
+/** conv/wt session: a ProtectedArray, scrubbed by per-word readback
+ *  (in-line correction is the conventional scrub). */
+class ConvSession final : public DeviceSession
+{
+  public:
+    ConvSession(CodeKind code, size_t degree, size_t word_bits,
+                size_t rows, uint64_t seed)
+        : arr(rows, makeCode(code, word_bits), degree)
+    {
+        Rng rng(seed);
+        golden.assign(arr.rows(),
+                      std::vector<BitVector>(arr.wordsPerRow()));
+        for (size_t r = 0; r < arr.rows(); ++r) {
+            for (size_t slot = 0; slot < arr.wordsPerRow(); ++slot) {
+                golden[r][slot] = randomWord(word_bits, rng);
+                arr.writeWord(r, slot, golden[r][slot]);
+            }
+        }
+    }
+
+    void inject(const FaultModel &fault, Rng &rng) override
+    {
+        FaultInjector inj(rng);
+        inj.inject(arr.cells(), fault);
+    }
+
+    Verdict scrubAndVerify() override
+    {
+        bool due = false, silent = false;
+        for (size_t r = 0; r < arr.rows(); ++r) {
+            for (size_t slot = 0; slot < arr.wordsPerRow(); ++slot) {
+                const AccessResult res = arr.readWord(r, slot);
+                if (!res.ok())
+                    due = true;
+                else if (res.data != golden[r][slot])
+                    silent = true;
+            }
+        }
+        // A silently wrong word dominates: the device lost data without
+        // flagging it somewhere, however many words it also detected.
+        return silent ? Verdict::kSdc
+               : due  ? Verdict::kDue
+                      : Verdict::kCorrected;
+    }
+
+    std::vector<std::pair<size_t, size_t>> stuckRows() override
+    {
+        return arr.cells().stuckRows();
+    }
+
+    void repairRow(size_t row) override
+    {
+        arr.cells().clearRowFaults(row);
+        for (size_t slot = 0; slot < arr.wordsPerRow(); ++slot)
+            arr.writeWord(row, slot, golden[row][slot]);
+    }
+
+  private:
+    ProtectedArray arr;
+    std::vector<std::vector<BitVector>> golden;
+};
+
+/** 2d session: a TwoDimArray bank; scrub runs the Figure 4(b)
+ *  recovery process, then the recovery-sweep verification pass. */
+class TwoDimSession final : public DeviceSession
+{
+  public:
+    TwoDimSession(const TwoDimConfig &config, uint64_t seed) : arr(config)
+    {
+        Rng rng(seed);
+        golden.assign(arr.rows(),
+                      std::vector<BitVector>(arr.wordsPerRow()));
+        for (size_t r = 0; r < arr.rows(); ++r) {
+            for (size_t slot = 0; slot < arr.wordsPerRow(); ++slot) {
+                golden[r][slot] = randomWord(arr.dataBits(), rng);
+                arr.writeWord(r, slot, golden[r][slot]);
+            }
+        }
+    }
+
+    void inject(const FaultModel &fault, Rng &rng) override
+    {
+        FaultInjector inj(rng);
+        inj.inject(arr.cells(), fault);
+    }
+
+    Verdict scrubAndVerify() override
+    {
+        const bool scrubbed = arr.scrub();
+        bool due = !scrubbed, silent = false;
+        for (size_t r = 0; r < arr.rows(); ++r) {
+            for (size_t slot = 0; slot < arr.wordsPerRow(); ++slot) {
+                const AccessResult res = arr.readWord(r, slot);
+                if (!res.ok())
+                    due = true;
+                else if (res.data != golden[r][slot])
+                    silent = true;
+            }
+        }
+        return silent ? Verdict::kSdc
+               : due  ? Verdict::kDue
+                      : Verdict::kCorrected;
+    }
+
+    std::vector<std::pair<size_t, size_t>> stuckRows() override
+    {
+        return arr.cells().stuckRows();
+    }
+
+    void repairRow(size_t row) override
+    {
+        // clearRowFaults preserves visible values, so the vertical
+        // parity stays consistent; rewriting the golden words through
+        // writeWord then maintains it incrementally as usual.
+        arr.cells().clearRowFaults(row);
+        for (size_t slot = 0; slot < arr.wordsPerRow(); ++slot)
+            arr.writeWord(row, slot, golden[row][slot]);
+    }
+
+  private:
+    TwoDimArray arr;
+    std::vector<std::vector<BitVector>> golden;
+};
+
+/** prod session: an HV product-code array; scrub is checkAndCorrect
+ *  plus the row-readback comparison of the injection trials. */
+class ProdSession final : public DeviceSession
+{
+  public:
+    ProdSession(size_t rows, size_t cols, uint64_t seed) : arr(rows, cols)
+    {
+        Rng rng(seed);
+        golden.reserve(rows);
+        for (size_t r = 0; r < rows; ++r) {
+            golden.push_back(randomWord(cols, rng));
+            arr.writeRow(r, golden.back());
+        }
+    }
+
+    void inject(const FaultModel &fault, Rng &rng) override
+    {
+        FaultInjector inj(rng);
+        inj.inject(arr.cells(), fault);
+    }
+
+    Verdict scrubAndVerify() override
+    {
+        const ProductCodeReport rep = arr.checkAndCorrect();
+        bool matches = true;
+        for (size_t r = 0; r < arr.rows() && matches; ++r)
+            matches = arr.readRow(r) == golden[r];
+        if (rep.clean && matches)
+            return Verdict::kCorrected;
+        return rep.clean ? Verdict::kSdc : Verdict::kDue;
+    }
+
+    std::vector<std::pair<size_t, size_t>> stuckRows() override
+    {
+        return arr.cells().stuckRows();
+    }
+
+    void repairRow(size_t row) override
+    {
+        arr.cells().clearRowFaults(row);
+        arr.writeRow(row, golden[row]);
+    }
+
+  private:
+    ProductCodeArray arr;
+    std::vector<BitVector> golden;
+};
+
 // --- conv / wt ------------------------------------------------------
 
 /**
@@ -306,6 +501,13 @@ class ConventionalScheme : public ProtectionScheme
         });
     }
 
+    std::unique_ptr<DeviceSession>
+    openLifetimeSession(uint64_t seed) const override
+    {
+        return std::make_unique<ConvSession>(code_, degree_, wordBits_,
+                                             rows_, seed);
+    }
+
   private:
     CodeKind code_;
     size_t degree_;
@@ -368,6 +570,12 @@ class TwoDimScheme : public ProtectionScheme
         return out;
     }
 
+    std::unique_ptr<DeviceSession>
+    openLifetimeSession(uint64_t seed) const override
+    {
+        return std::make_unique<TwoDimSession>(config_, seed);
+    }
+
     const TwoDimConfig &config() const { return config_; }
 
   private:
@@ -424,6 +632,12 @@ class ProductCodeScheme : public ProtectionScheme
             c = rep.clean && matches;
             s = rep.clean && !matches;
         });
+    }
+
+    std::unique_ptr<DeviceSession>
+    openLifetimeSession(uint64_t seed) const override
+    {
+        return std::make_unique<ProdSession>(rows_, cols_, seed);
     }
 
   private:

@@ -33,6 +33,7 @@
 
 #include "array/fault.hh"
 #include "core/twod_config.hh"
+#include "reliability/lifetime.hh"     // DeviceSession + LifetimeResult
 #include "reliability/result_cache.hh" // InjectionOutcome + ResultCache
 #include "vlsi/scheme_overhead.hh"
 
@@ -72,6 +73,18 @@ class ProtectionScheme
                                               int trials,
                                               uint64_t seed) const = 0;
 
+    /**
+     * Open one lifetime-engine device session (reliability/lifetime.hh):
+     * a fresh array filled with golden data derived from @p seed,
+     * driven by runLifetime through inject / scrubAndVerify /
+     * repairRow with exactly the machinery this scheme's
+     * injectAndRecover trials use. The built-in families all implement
+     * it; the default throws std::logic_error for registered families
+     * without a device model.
+     */
+    virtual std::unique_ptr<DeviceSession>
+    openLifetimeSession(uint64_t seed) const;
+
     /** True when the scheme has a VLSI cost model (costSpec() works). */
     virtual bool hasCostModel() const { return false; }
 
@@ -104,6 +117,17 @@ using SchemePtr = std::shared_ptr<const ProtectionScheme>;
 InjectionOutcome cachedInjectAndRecover(const ProtectionScheme &scheme,
                                         const FaultModel &fault,
                                         int trials, uint64_t seed);
+
+/**
+ * runLifetime over @p scheme through the campaign result cache:
+ * params.schemeSpec is overwritten with scheme.spec() (the canonical
+ * key axis) and the session factory is scheme.openLifetimeSession, so
+ * the cell is a pure function of (scheme, mix, mission, scrub, spares,
+ * trials, seed) and memoizes exactly like injection cells. Every
+ * lifetime figure/custom grid evaluates through this entry point.
+ */
+LifetimeResult cachedSchemeLifetime(const ProtectionScheme &scheme,
+                                    LifetimeParams params);
 
 /**
  * normalizeScheme(scheme.costSpec(), reference, geom) through the

@@ -50,8 +50,13 @@ LatencyHistogram::percentile(double p) const
     if (total == 0)
         return 0;
     p = std::clamp(p, 0.0, 1.0);
+    // ceil(p * total) computed in floating point overshoots whenever
+    // p * total lands epsilon above an integer (0.07 * 100 =
+    // 7.0000000000000007 -> ceil 8), sliding the order statistic up a
+    // rank. Shave one ulp-scale margin before taking the ceiling.
+    const double scaled = p * double(total) * (1.0 - 1e-12);
     const uint64_t target =
-        std::max<uint64_t>(1, uint64_t(std::ceil(p * double(total))));
+        std::clamp<uint64_t>(uint64_t(std::ceil(scaled)), 1, total);
     uint64_t seen = 0;
     for (size_t i = 0; i < bins.size(); ++i) {
         seen += bins[i];

@@ -35,8 +35,9 @@ class LatencyHistogram
 
     /**
      * Exact percentile: the smallest latency L such that at least
-     * ceil(p * count()) observations are <= L. @p p in (0, 1];
-     * returns 0 on an empty histogram.
+     * ceil(p * count()) observations are <= L. @p p is clamped to
+     * [0, 1]; p = 0 yields the minimum observation, p = 1 the
+     * maximum. Returns 0 on an empty histogram.
      */
     uint64_t percentile(double p) const;
 

@@ -41,6 +41,37 @@ TEST(LatencyHistogram, PercentilesAreExactOrderStatistics)
     EXPECT_EQ(h.mean(), 50.5);
 }
 
+TEST(LatencyHistogram, EveryRankOfAHundredIsExact)
+{
+    // Regression: ceil(p * total) in floating point overshot whenever
+    // p * total landed epsilon above an integer — percentile(0.07) on
+    // 1..100 returned 8 (0.07 * 100 = 7.0000000000000007). Every rank
+    // of the 1..100 histogram must map to its own value.
+    LatencyHistogram h;
+    for (uint64_t v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.percentile(0.07), 7u);
+    for (uint64_t k = 1; k <= 100; ++k)
+        EXPECT_EQ(h.percentile(double(k) / 100.0), k) << k;
+}
+
+TEST(LatencyHistogram, SingleSampleIsEveryPercentile)
+{
+    LatencyHistogram h;
+    h.add(42);
+    for (double p : {0.0, 0.001, 0.5, 0.999, 1.0})
+        EXPECT_EQ(h.percentile(p), 42u) << p;
+}
+
+TEST(LatencyHistogram, OutOfRangeProbabilitiesClamp)
+{
+    LatencyHistogram h;
+    h.add(3);
+    h.add(9);
+    EXPECT_EQ(h.percentile(-0.5), 3u);
+    EXPECT_EQ(h.percentile(1.5), 9u);
+}
+
 TEST(LatencyHistogram, TailPercentileSeesTheRareSample)
 {
     // 1999 fast + 1 slow: p999 must already surface the outlier
