@@ -36,6 +36,24 @@ enum class FaultShape
     kFullRow,
     /** Entire physical column fails. */
     kFullColumn,
+    /**
+     * Whole-device failure: every cell of one symbol-wide chip column
+     * group fails (DRAM chip kill; on a plain bit array the symbol
+     * width is 1 and this degenerates to a full column).
+     */
+    kChipKill,
+    /**
+     * Row-hammer-style disturbance: a band of adjacent victim rows
+     * across the full array width, each cell flipping with a given
+     * activation-dependent density.
+     */
+    kRowHammer,
+    /**
+     * Sense-amplifier failure: a shared sense amp serves a bitline
+     * pair, so two adjacent columns fail together over a window of
+     * rows.
+     */
+    kSenseAmp,
 };
 
 /** Soft (transient) vs hard (persistent stuck-at) manifestation. */
@@ -98,6 +116,16 @@ struct FaultModel
     static FaultModel fullRow();
     static FaultModel fullColumn();
 
+    /** Whole-chip kill; @p chip = -1 draws a random chip. The chip
+     *  index rides in colLo (it selects a symbol group, not a cell). */
+    static FaultModel chipKill(long chip = -1);
+
+    /** Row-hammer band of @p rows victim rows, per-cell density. */
+    static FaultModel rowHammer(size_t rows, double density = 1.0);
+
+    /** Sense-amp failure: 2 adjacent columns x @p height rows. */
+    static FaultModel senseAmp(size_t height);
+
     /** Short label for campaign tables, e.g. "32x32" for clusters. */
     std::string describe() const;
 
@@ -132,6 +160,11 @@ std::string exactDouble(double v);
  *   WxH@D             WxH cluster, per-cell flip probability D in (0,1]
  *   fullrow           an entire physical row
  *   fullcol           an entire physical column
+ *   chip:I            kill chip I (whole symbol column group)
+ *   chip:any          kill a uniformly random chip
+ *   hammer:W          row-hammer band of W victim rows (solid)
+ *   hammer:W@D        row-hammer band, per-cell flip probability D
+ *   senseamp:H        sense-amp failure: 2 adjacent columns x H rows
  *
  * Malformed specs or out-of-range footprints throw
  * std::invalid_argument quoting the offending token.
@@ -187,6 +220,33 @@ class FaultInjector
     FaultEvent injectFullColumn(MemoryArray &arr, size_t col,
                                 FaultPersistence p =
                                     FaultPersistence::kTransient);
+
+    /**
+     * Kill chip @p chip: every cell in its symbolBits()-wide column
+     * group, over all rows. @p chip = -1 draws a random chip.
+     */
+    FaultEvent injectChipKill(MemoryArray &arr, long chip = -1,
+                              FaultPersistence p =
+                                  FaultPersistence::kTransient);
+
+    /**
+     * Row-hammer band: @p rows adjacent victim rows (clamped to the
+     * array) across the full width, each cell flipping with
+     * probability @p density, re-rolled until at least one cell flips.
+     */
+    FaultEvent injectRowHammer(MemoryArray &arr, size_t rows,
+                               double density = 1.0, long row_lo = -1,
+                               FaultPersistence p =
+                                   FaultPersistence::kTransient);
+
+    /**
+     * Sense-amp failure: two adjacent columns (or one, on a 1-column
+     * array) over @p height rows (clamped to the array).
+     */
+    FaultEvent injectSenseAmp(MemoryArray &arr, size_t height,
+                              long row_lo = -1, long col_lo = -1,
+                              FaultPersistence p =
+                                  FaultPersistence::kTransient);
 
     /**
      * Realize one @p model event: dispatch to the shape-specific

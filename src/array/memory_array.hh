@@ -39,6 +39,17 @@ class MemoryArray
     size_t rows() const { return cells.rows(); }
     size_t cols() const { return cells.cols(); }
 
+    /**
+     * Symbol (device burst) width annotation: how many adjacent
+     * columns one physical device contributes per row. 1 for plain
+     * SRAM bit arrays; DramArray sets the per-chip burst width so
+     * symbol-granular fault shapes (chip kill) know the column
+     * grouping. Purely an annotation — no read/write path consults it.
+     * @pre cols() % bits == 0
+     */
+    void setSymbolBits(size_t bits) { symbolWidth = bits; }
+    size_t symbolBits() const { return symbolWidth; }
+
     /** Read physical row @p r with stuck-at faults applied. */
     BitVector readRow(size_t r) const;
 
@@ -134,6 +145,7 @@ class MemoryArray
     std::unordered_map<size_t, std::vector<std::pair<size_t, bool>>>
         stuckByRow;
     size_t stuckTotal = 0;
+    size_t symbolWidth = 1;
     mutable uint64_t reads = 0;
     uint64_t writes = 0;
 };

@@ -1,0 +1,103 @@
+#include "dram/chip_iecc.hh"
+
+#include <stdexcept>
+
+namespace tdc
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+unsigned
+parityOf(uint32_t v)
+{
+    unsigned p = 0;
+    for (; v; v &= v - 1)
+        p ^= 1u;
+    return p;
+}
+
+} // namespace
+
+ChipSecded::ChipSecded(unsigned data_bits) : data(data_bits)
+{
+    if (data_bits < 2 || data_bits > 16)
+        throw std::invalid_argument("ChipSecded: data width out of range");
+    hamming = 2;
+    while ((1u << hamming) < data + hamming + 1)
+        ++hamming;
+    codeBits = data + hamming;
+    // Data bits fill the non-power-of-two positions 3, 5, 6, 7, ...
+    unsigned j = 0;
+    for (uint32_t pos = 1; pos <= codeBits && j < data; ++pos)
+        if (!isPowerOfTwo(pos))
+            dataPos[j++] = pos;
+}
+
+uint32_t
+ChipSecded::placeBits(uint32_t sym, uint32_t check) const
+{
+    uint32_t cw = 0;
+    for (unsigned j = 0; j < data; ++j)
+        cw |= ((sym >> j) & 1u) << dataPos[j];
+    for (unsigned k = 0; k < hamming; ++k)
+        cw |= ((check >> k) & 1u) << (1u << k);
+    return cw;
+}
+
+uint32_t
+ChipSecded::encode(uint32_t sym) const
+{
+    // Hamming bit k covers every position with bit k set.
+    uint32_t check = 0;
+    for (unsigned k = 0; k < hamming; ++k) {
+        unsigned bit = 0;
+        for (unsigned j = 0; j < data; ++j)
+            if (dataPos[j] & (1u << k))
+                bit ^= (sym >> j) & 1u;
+        check |= uint32_t(bit) << k;
+    }
+    // Overall parity over every stored bit (data + hamming).
+    const unsigned overall = parityOf(placeBits(sym, check) >> 1);
+    return check | (uint32_t(overall) << hamming);
+}
+
+DecodeStatus
+ChipSecded::decode(uint32_t &sym, uint32_t check) const
+{
+    const uint32_t cw = placeBits(sym, check);
+    uint32_t syndrome = 0;
+    for (uint32_t pos = 1; pos <= codeBits; ++pos)
+        if ((cw >> pos) & 1u)
+            syndrome ^= pos;
+    const unsigned overall =
+        parityOf(cw >> 1) ^ ((check >> hamming) & 1u);
+
+    if (syndrome == 0 && overall == 0)
+        return DecodeStatus::kClean;
+    if (overall == 1) {
+        // Single error: in the overall parity bit itself (syndrome 0),
+        // a hamming bit (power-of-two position), or a data bit.
+        if (syndrome == 0 || isPowerOfTwo(syndrome))
+            return DecodeStatus::kCorrected;
+        if (syndrome <= codeBits) {
+            for (unsigned j = 0; j < data; ++j) {
+                if (dataPos[j] == syndrome) {
+                    sym ^= 1u << j;
+                    return DecodeStatus::kCorrected;
+                }
+            }
+        }
+        // Phantom position of the shortened code: not a single error.
+        return DecodeStatus::kDetectedUncorrectable;
+    }
+    return DecodeStatus::kDetectedUncorrectable;
+}
+
+} // namespace tdc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * In-DRAM ECC (IECC): a tiny extended-Hamming SEC-DED code each chip
+ * applies to its own symbolBits-wide burst before the rank-level
+ * symbol code sees it. A single in-chip bit flip is corrected inside
+ * the device; a double flip is detected and reported, which the
+ * rank-level SSC-DSD decoder consumes as a symbol *erasure* — the
+ * IECC + chipkill composition the scheme family models.
+ *
+ * Check bits live in the chip's spare ECC columns, modeled as
+ * fault-free side storage (the usual idealization: in-device ECC
+ * arrays are smaller and independently protected).
+ */
+
+#ifndef TDC_DRAM_CHIP_IECC_HH
+#define TDC_DRAM_CHIP_IECC_HH
+
+#include <cstdint>
+
+#include "ecc/code.hh"
+
+namespace tdc
+{
+
+/** Extended-Hamming SEC-DED over one data_bits-wide chip burst. */
+class ChipSecded
+{
+  public:
+    /** @param data_bits burst width, 2..16 (x4/x8 devices use 4/8). */
+    explicit ChipSecded(unsigned data_bits);
+
+    unsigned dataBits() const { return data; }
+
+    /** Hamming check bits + the overall parity bit. */
+    unsigned checkBits() const { return hamming + 1; }
+
+    /** Check word (checkBits() wide) for burst @p sym. */
+    uint32_t encode(uint32_t sym) const;
+
+    /**
+     * Decode @p sym against @p check: corrects a single bit error in
+     * place (kCorrected), flags a double as kDetectedUncorrectable.
+     */
+    DecodeStatus decode(uint32_t &sym, uint32_t check) const;
+
+  private:
+    /** Rebuild the positional codeword (bit i = position i). */
+    uint32_t placeBits(uint32_t sym, uint32_t check) const;
+
+    unsigned data;
+    unsigned hamming;        ///< h: 2^h >= data + h + 1
+    unsigned codeBits;       ///< data + hamming, positions 1..codeBits
+    uint32_t dataPos[16];    ///< position of data bit j
+};
+
+} // namespace tdc
+
+#endif // TDC_DRAM_CHIP_IECC_HH

@@ -277,9 +277,11 @@ const char *const kUsage =
     "                            (default: 43800, five years)\n"
     "\n"
     "scheme specs (see --list-schemes):   conv:secded/i4,\n"
-    "  2d:edc8/i4+vp32, wt:edc8/i4, prod:256x256, ...\n"
+    "  2d:edc8/i4+vp32, wt:edc8/i4, prod:256x256, dram:chipkill/x4,\n"
+    "  dram:iecc+chipkill/x8, ...\n"
     "fault specs (see --list-faults):     single, 32x32, 16x16@0.5,\n"
-    "  row:32, col:8, fullrow, fullcol\n"
+    "  row:32, col:8, fullrow, fullcol, chip:any, hammer:4@0.5,\n"
+    "  senseamp:8\n"
     "request specs (--serve):             uniform/n1e6/w30,\n"
     "  zipf90/n1e5, burst128/n1e5/g512, trace:<path>\n";
 
@@ -501,7 +503,13 @@ listFaultsText()
            "  row:<W>         W-bit burst along one row\n"
            "  col:<H>         H-bit burst along one column\n"
            "  fullrow         an entire physical row fails\n"
-           "  fullcol         an entire physical column fails\n";
+           "  fullcol         an entire physical column fails\n"
+           "  chip:<I>        chip I fails (whole symbol column group;\n"
+           "                  chip:any draws a random chip)\n"
+           "  hammer:<W>[@D]  row-hammer band of W victim rows, per-cell\n"
+           "                  flip probability D (default solid)\n"
+           "  senseamp:<H>    sense-amp failure: 2 adjacent columns\n"
+           "                  over H rows\n";
 }
 
 std::string

@@ -339,6 +339,87 @@ relatedWorkCampaign(int trials, uint64_t seed)
     return runCampaignGrid(grid);
 }
 
+namespace
+{
+
+/** The chipkill figure's comparison set: one scheme per protection
+ *  class, on small (64-row) geometries so cells stay quick. */
+const std::vector<std::string> kChipkillFigureSchemes = {
+    "conv:secded/i4/r64",
+    "2d:edc8/i4+vp32/r64",
+    "prod:64x64",
+    "dram:chipkill/x4",
+    "dram:iecc+chipkill/x8",
+};
+
+} // namespace
+
+CampaignResult
+chipkillOverheadCampaign()
+{
+    const std::vector<SchemePtr> schemes =
+        parseAll(kChipkillFigureSchemes);
+
+    CampaignGrid grid;
+    grid.rowHeader = "Scheme";
+    for (const SchemePtr &s : schemes)
+        grid.rowLabels.push_back(s->name());
+    grid.colHeaders = {"Storage overhead", "Guaranteed coverage"};
+    grid.parallelCells = false;
+    grid.cell = [schemes](size_t row, size_t col) -> std::string {
+        if (col == 1) {
+            static const char *coverage[] = {
+                "4-bit row bursts",
+                "32x32-bit clusters",
+                "any single cell + HV-flagged patterns",
+                "any single chip (SSC), double-chip detect",
+                "1 bit per chip + any single chip (erasure)",
+            };
+            return coverage[row];
+        }
+        return Table::pct(schemes[row]->storageOverhead());
+    };
+    return runCampaignGrid(grid);
+}
+
+CampaignResult
+chipkillInjectionCampaign(int trials, uint64_t seed)
+{
+    const std::vector<SchemePtr> schemes =
+        parseAll(kChipkillFigureSchemes);
+
+    // Fault axis: the SRAM footprints the paper sweeps plus the
+    // device-derived DRAM shapes. On bit arrays (symbol width 1) a
+    // chip kill degenerates to a full column, so every cell is
+    // well-defined across the whole comparison set.
+    static const char *const kFootprints[] = {
+        "single", "row:4", "8x8", "fullcol",
+        "chip:any", "hammer:3@0.5", "senseamp:16",
+    };
+
+    CampaignGrid grid;
+    grid.title = "Chipkill comparison: " + std::to_string(trials) +
+                 " events/cell, seed " + std::to_string(seed);
+    grid.rowHeader = "Fault";
+    std::vector<FaultModel> faults;
+    for (const char *spec : kFootprints) {
+        faults.push_back(parseFaultModel(spec));
+        grid.rowLabels.push_back(spec);
+    }
+    for (const SchemePtr &scheme : schemes)
+        grid.colHeaders.push_back(scheme->name());
+    const size_t nc = grid.colHeaders.size();
+    grid.outcomeCell = [=](size_t row, size_t col) {
+        const uint64_t cell_seed = shardSeed(seed, row * nc + col);
+        return cachedInjectAndRecover(*schemes[col], faults[row], trials,
+                                      cell_seed);
+    };
+    grid.formatOutcome = [](const InjectionOutcome &o) {
+        return o.verdict();
+    };
+    return runCampaignGrid(grid);
+}
+
 CampaignResult
 customInjectionCampaign(const std::vector<std::string> &scheme_specs,
                         const std::vector<std::string> &fault_specs,

@@ -68,6 +68,23 @@ CampaignResult figure8SoftErrorCampaign();
 CampaignResult relatedWorkCampaign(int trials = 50, uint64_t seed = 60606);
 
 /**
+ * Chipkill figure, header table: storage overhead + guaranteed
+ * coverage for the cross-family comparison set (interleaved SECDED,
+ * the paper's 2D coding, the Tanner product code, chipkill/DDC and
+ * IECC+chipkill).
+ */
+CampaignResult chipkillOverheadCampaign();
+
+/**
+ * Chipkill figure, injection grid: SRAM-shaped and device-derived
+ * fault footprints (single / bursts / clusters / chip kill /
+ * row-hammer / sense-amp) crossed with the same comparison set,
+ * verdicts by Monte-Carlo injection through cachedInjectAndRecover.
+ */
+CampaignResult chipkillInjectionCampaign(int trials = 50,
+                                         uint64_t seed = 10107);
+
+/**
  * A fully custom injection grid: every fault (rows) crossed with
  * every scheme spec (columns), @p trials Monte-Carlo events per cell,
  * each cell seeded with shardSeed(seed, cell) — the tdc_run

@@ -11,6 +11,7 @@
 #include "common/rng.hh"
 #include "core/twod_array.hh"
 #include "reliability/recovery_sweep.hh"
+#include "scheme/dram_scheme.hh"
 
 namespace tdc
 {
@@ -699,6 +700,8 @@ builtinFamilies()
                                              2, 4096);
              return makeProductCodeScheme(rows, cols);
          }});
+
+    families.push_back(dramSchemeFamily());
 
     return families;
 }

@@ -7,12 +7,15 @@
  * from a spec string:
  *
  *   spec     ::= family ":" body
- *   family   ::= "conv" | "2d" | "wt" | "prod" | <registered>
+ *   family   ::= "conv" | "2d" | "wt" | "prod" | "dram" | <registered>
  *   conv/wt  ::= code "/i" degree opt*        ; e.g. conv:secded/i4
  *   2d       ::= code "/i" degree "+vp" rows opt*
  *                                             ; e.g. 2d:edc8/i4+vp32
  *   prod     ::= rows "x" cols                ; e.g. prod:256x256
+ *   dram     ::= variant "/x" width dopt*     ; e.g. dram:chipkill/x4
+ *   variant  ::= "chipkill" | "iecc+chipkill"
  *   opt      ::= "/w" word-bits | "/r" data-rows
+ *   dopt     ::= "/r" rows-per-bank | "/b" banks | "/cols"
  *   code     ::= parity|edc8|edc16|edc32|secded|dected|qecped|oecned
  *
  * spec() round-trips: parseScheme(s->spec()) reconstructs an equal

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The --figure chipkill driver path and the dram: spec surface:
+ *  - the figure renders both tables, byte-identical across
+ *    --threads {1,8} and cold/warm cache;
+ *  - custom grids accept dram: schemes and the device-derived fault
+ *    shapes, with the same determinism;
+ *  - --list-schemes / --list-faults advertise the new grammar;
+ *  - malformed dram:/fault tokens exit 2 quoting the token;
+ *  - --optimize expands dram: patterns and the emitted CSV satisfies
+ *    the Pareto property recomputed from its own numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "driver/tdc_run.hh"
+
+namespace tdc
+{
+namespace
+{
+
+struct ThreadGuard
+{
+    ~ThreadGuard() { setParallelThreads(0); }
+};
+
+std::string
+runOk(const std::vector<std::string> &args)
+{
+    std::string out, err;
+    const int code = tdcRun(args, out, err);
+    EXPECT_EQ(code, 0) << err;
+    EXPECT_TRUE(err.empty()) << err;
+    return out;
+}
+
+/** EXPECT exit 2 with @p token quoted on stderr and no stdout. */
+void
+expectUsageError(const std::vector<std::string> &args,
+                 const std::string &token)
+{
+    std::string out, err;
+    const int code = tdcRun(args, out, err);
+    EXPECT_EQ(code, 2) << "args should have failed";
+    EXPECT_TRUE(out.empty());
+    EXPECT_NE(err.find(token), std::string::npos)
+        << "stderr \"" << err << "\" does not quote \"" << token << "\"";
+}
+
+TEST(TdcRunChipkill, FigureRendersBothTables)
+{
+    const std::string out = runOk({"--figure", "chipkill"});
+    EXPECT_NE(out.find("Chipkill/DDC vs 2D coding"), std::string::npos);
+    EXPECT_NE(out.find("Storage overhead"), std::string::npos);
+    EXPECT_NE(out.find("Guaranteed coverage"), std::string::npos);
+    // All five contenders appear.
+    EXPECT_NE(out.find("SECDED+Intv4"), std::string::npos);
+    EXPECT_NE(out.find("2D(EDC8+Intv4,EDC32)"), std::string::npos);
+    EXPECT_NE(out.find("HVProd(64x64)"), std::string::npos);
+    EXPECT_NE(out.find("Chipkill(x4,RS15/12)"), std::string::npos);
+    EXPECT_NE(out.find("IECC+Chipkill(x8,RS11/8)"), std::string::npos);
+    // The injection grid exercises the device-derived shapes.
+    EXPECT_NE(out.find("chip:any"), std::string::npos);
+    EXPECT_NE(out.find("hammer:3@0.5"), std::string::npos);
+    EXPECT_NE(out.find("senseamp:16"), std::string::npos);
+}
+
+TEST(TdcRunChipkill, FigureIsListedInTheRegistry)
+{
+    const std::string out = runOk({"--list-figures"});
+    EXPECT_NE(out.find("chipkill"), std::string::npos);
+}
+
+TEST(TdcRunChipkill, FigureDeterministicAcrossThreadsAndCache)
+{
+    ThreadGuard guard;
+    const std::string t1 =
+        runOk({"--figure", "chipkill", "--threads", "1"});
+    const std::string t8 =
+        runOk({"--figure", "chipkill", "--threads", "8"});
+    const std::string warm =
+        runOk({"--figure", "chipkill", "--threads", "1"});
+    EXPECT_EQ(t1, t8);
+    EXPECT_EQ(t1, warm);
+}
+
+TEST(TdcRunChipkill, CustomGridAcceptsDramSchemesAndFaults)
+{
+    ThreadGuard guard;
+    const std::vector<std::string> base = {
+        "--scheme", "dram:chipkill/x4",
+        "--scheme", "dram:iecc+chipkill/x8",
+        "--fault", "chip:any",
+        "--fault", "hammer:2@0.5",
+        "--fault", "senseamp:8",
+        "--trials", "10", "--seed", "11"};
+    std::vector<std::string> t1 = base;
+    t1.insert(t1.end(), {"--threads", "1"});
+    std::vector<std::string> t8 = base;
+    t8.insert(t8.end(), {"--threads", "8"});
+    const std::string a = runOk(t1);
+    const std::string b = runOk(t8);
+    const std::string warm = runOk(t1);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, warm);
+    EXPECT_NE(a.find("Chipkill(x4,RS15/12)"), std::string::npos);
+    EXPECT_NE(a.find("chip kill"), std::string::npos); // describe() label
+}
+
+TEST(TdcRunChipkill, ListSchemesAdvertisesTheDramFamily)
+{
+    const std::string out = runOk({"--list-schemes"});
+    EXPECT_NE(out.find("dram:{chipkill|iecc+chipkill}/x{4|8}"),
+              std::string::npos);
+    EXPECT_NE(out.find("dram:chipkill/x4"), std::string::npos);
+    EXPECT_NE(out.find("dram:iecc+chipkill/x8"), std::string::npos);
+}
+
+TEST(TdcRunChipkill, ListFaultsAdvertisesTheDeviceShapes)
+{
+    const std::string out = runOk({"--list-faults"});
+    EXPECT_NE(out.find("chip:<I>"), std::string::npos);
+    EXPECT_NE(out.find("chip:any"), std::string::npos);
+    EXPECT_NE(out.find("hammer:<W>[@D]"), std::string::npos);
+    EXPECT_NE(out.find("senseamp:<H>"), std::string::npos);
+}
+
+TEST(TdcRunChipkill, MalformedTokensExitTwoQuotingThem)
+{
+    expectUsageError({"--scheme", "dram:chipkill/x9", "--fault", "single"},
+                     "x9");
+    expectUsageError({"--scheme", "dram:secded/x4", "--fault", "single"},
+                     "secded");
+    expectUsageError({"--scheme", "dram:chipkill", "--fault", "single"},
+                     "width");
+    expectUsageError(
+        {"--scheme", "dram:chipkill/x4", "--fault", "chip:70000"},
+        "chip:70000");
+    expectUsageError(
+        {"--scheme", "dram:chipkill/x4", "--fault", "hammer:4@0"},
+        "hammer:4@0");
+    expectUsageError(
+        {"--scheme", "dram:chipkill/x4", "--fault", "senseamp:0"},
+        "senseamp:0");
+    // No VLSI cost model: the area objective names the scheme.
+    expectUsageError({"--optimize", "dram:chipkill/x4", "--objective",
+                      "area"},
+                     "dram:chipkill/x4");
+}
+
+TEST(TdcRunChipkill, OptimizePatternGrammarCoversDram)
+{
+    // Satellite: the {a,b} pattern grammar expands dram variants and
+    // widths; the frontier property is re-verified from the emitted
+    // CSV alone (the optimizer must not claim a dominated point).
+    const std::string csv = runOk(
+        {"--optimize", "dram:{chipkill,iecc+chipkill}/x{4,8}", "--fault",
+         "chip:any", "--fault", "8x8", "--trials", "5", "--seed", "5",
+         "--format", "csv"});
+
+    struct Point
+    {
+        double coverage = 0.0, overhead = 0.0;
+        bool frontier = false;
+        size_t dominatedBy = 0;
+    };
+    std::vector<Point> points;
+    const size_t block = csv.find("# Evaluated design points");
+    ASSERT_NE(block, std::string::npos) << csv;
+    size_t pos = csv.find('\n', block);
+    pos = csv.find('\n', pos + 1) + 1; // skip the header row
+    while (pos < csv.size() && csv[pos] != '\n' && csv[pos] != '#') {
+        const size_t eol = csv.find('\n', pos);
+        const std::string line = csv.substr(pos, eol - pos);
+        std::vector<std::string> cells;
+        size_t start = 0;
+        while (true) {
+            const size_t comma = line.find(',', start);
+            cells.push_back(line.substr(
+                start, comma == std::string::npos ? std::string::npos
+                                                  : comma - start));
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        ASSERT_EQ(cells.size(), 5u) << line;
+        points.push_back({std::stod(cells[1]), std::stod(cells[2]),
+                          cells[3] == "yes",
+                          size_t(std::stoul(cells[4]))});
+        pos = eol + 1;
+    }
+    ASSERT_EQ(points.size(), 4u); // 2 variants x 2 widths
+
+    for (const Point &p : points) {
+        size_t dominated_by = 0;
+        for (const Point &q : points) {
+            const bool dominates =
+                q.coverage >= p.coverage && q.overhead <= p.overhead &&
+                (q.coverage > p.coverage || q.overhead < p.overhead);
+            dominated_by += dominates ? 1 : 0;
+            if (p.frontier) {
+                EXPECT_FALSE(dominates);
+            }
+        }
+        EXPECT_EQ(dominated_by, p.dominatedBy);
+        EXPECT_EQ(p.frontier, dominated_by == 0);
+    }
+}
+
+} // namespace
+} // namespace tdc

@@ -42,6 +42,7 @@ TEST(SchemeRegistry, BuiltinFamiliesArePresent)
     EXPECT_NE(std::find(keys.begin(), keys.end(), "2d"), keys.end());
     EXPECT_NE(std::find(keys.begin(), keys.end(), "wt"), keys.end());
     EXPECT_NE(std::find(keys.begin(), keys.end(), "prod"), keys.end());
+    EXPECT_NE(std::find(keys.begin(), keys.end(), "dram"), keys.end());
 }
 
 TEST(SchemeRegistry, EveryRegisteredExampleRoundTrips)
@@ -104,6 +105,9 @@ TEST(SchemeRegistry, CostSpecSupport)
     EXPECT_TRUE(parseScheme("wt:edc8/i4")->hasCostModel());
     EXPECT_FALSE(parseScheme("prod:64x64")->hasCostModel());
     EXPECT_THROW(parseScheme("prod:64x64")->costSpec(), std::logic_error);
+    EXPECT_FALSE(parseScheme("dram:chipkill/x4")->hasCostModel());
+    EXPECT_THROW(parseScheme("dram:chipkill/x4")->costSpec(),
+                 std::logic_error);
 
     // The cost description matches the legacy SchemeSpec constructors
     // the golden-pinned Figure 7 tables were produced with.

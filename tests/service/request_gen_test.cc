@@ -247,6 +247,28 @@ fuzzCorpus()
     scheme("CONV:secded/i4", "CONV"); // families are case-sensitive
     scheme("conv:secd3d/i4", "secd3d");
 
+    // -- scheme grammar: dram family structural breaks ---------------
+    scheme("dram", "dram");
+    scheme("dram:", "dram:");
+    scheme("dram:chipkill", "width");
+    scheme("dram:iecc", "iecc");
+    scheme("dram:secded/x4", "secded");
+    scheme("dram:CHIPKILL/x4", "CHIPKILL"); // variants are case-sensitive
+    scheme("dram:chipkill/x5", "x5");
+    scheme("dram:chipkill/x", "x");
+    scheme("dram:chipkill/x4/z9", "z9");
+    scheme("dram:chipkill/x4/r0", "r0");
+    scheme("dram:chipkill/x4/r4097", "r4097");
+    scheme("dram:chipkill/x4/rx", "rx");
+    scheme("dram:chipkill/x4/b0", "b0");
+    scheme("dram:chipkill/x4/b65", "b65");
+    scheme("dram:chipkill/x4/cols/extra", "extra");
+    scheme("dram:iecc+chipkill/x8/columns", "columns");
+    for (int i = 0; i < 8; ++i) {
+        const std::string variant = "ddr" + std::to_string(i);
+        scheme("dram:" + variant + "/x4", variant);
+    }
+
     // -- scheme grammar: generated unknown families ------------------
     for (int i = 0; i < 24; ++i) {
         const std::string family = "fam" + std::to_string(i);
@@ -279,6 +301,27 @@ fuzzCorpus()
     fault("32x32@dense", "32x32@dense");
     fault("@0.5", "@0.5");
     fault("fullrows", "fullrows");
+
+    // -- fault grammar: device-derived DRAM shapes -------------------
+    fault("chip:", "chip:");
+    fault("chip:x", "chip:x");
+    fault("chip:-1", "chip:-1");
+    fault("chip:1.5", "chip:1.5");
+    fault("chip:70000", "chip:70000");
+    fault("chip:any2", "chip:any2");
+    fault("chipkill", "chipkill"); // shape names are spec prefixes only
+    fault("hammer:", "hammer:");
+    fault("hammer:0", "hammer:0");
+    fault("hammer:x", "hammer:x");
+    fault("hammer:65537", "hammer:65537");
+    fault("hammer:4@", "hammer:4@");
+    fault("hammer:4@0", "hammer:4@0");
+    fault("hammer:4@2", "hammer:4@2");
+    fault("hammer:4@-0.5", "hammer:4@-0.5");
+    fault("senseamp:", "senseamp:");
+    fault("senseamp:0", "senseamp:0");
+    fault("senseamp:-2", "senseamp:-2");
+    fault("senseamp:tall", "senseamp:tall");
 
     // -- fault grammar: generated zero-dimension clusters ------------
     for (int d = 1; d <= 20; ++d) {
